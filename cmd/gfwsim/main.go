@@ -1,0 +1,166 @@
+// Command gfwsim re-runs the paper's experiments on the simulated
+// substrate and prints every table and figure. With no flags it runs
+// everything at a reduced scale; -full runs at the paper's scale
+// (four months of virtual time — still seconds of wall-clock).
+//
+// Usage:
+//
+//	gfwsim [-seed N] [-full] [-experiment all|table1|shadowsocks|sink|brdgrd|matrix] [-dump FILE]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"sslab/internal/experiment"
+	"sslab/internal/gfw"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gfwsim: ")
+	var (
+		seed = flag.Int64("seed", 1, "random seed (all results are deterministic per seed)")
+		full = flag.Bool("full", false, "run at the paper's scale instead of the fast default")
+		exp  = flag.String("experiment", "all", "which experiment to run: all, table1, shadowsocks, sink, brdgrd, blocking, matrix, fpstudy, banstudy, mimicstudy, probecost")
+		dump = flag.String("dump", "", "write the Shadowsocks experiment's probe capture to FILE as JSONL")
+	)
+	flag.Parse()
+
+	run := func(name string) bool { return *exp == "all" || *exp == name }
+
+	if run("table1") {
+		fmt.Println(experiment.Table1().Render())
+	}
+
+	if run("shadowsocks") {
+		cfg := experiment.ShadowsocksConfig{Seed: *seed}
+		if !*full {
+			cfg.Days = 20
+			cfg.ConnsPerPairPerHour = 80
+			cfg.GFW = gfw.Config{PoolSize: 6000}
+		}
+		r, err := experiment.ShadowsocksExperiment(cfg)
+		if err != nil {
+			log.Fatalf("shadowsocks experiment: %v", err)
+		}
+		fmt.Println(r.Render())
+		if *dump != "" {
+			f, err := os.Create(*dump)
+			if err != nil {
+				log.Fatalf("creating %s: %v", *dump, err)
+			}
+			if err := r.Log.WriteJSON(f); err != nil {
+				log.Fatalf("writing capture: %v", err)
+			}
+			f.Close()
+			fmt.Printf("wrote %d probe records to %s\n\n", r.Log.Len(), *dump)
+		}
+	}
+
+	if run("sink") {
+		cfg := experiment.SinkConfig{Seed: *seed}
+		if !*full {
+			cfg.Hours = 80
+			cfg.ConnsPerHour = 2000
+			cfg.GFW = gfw.Config{PoolSize: 4000}
+		}
+		r, err := experiment.SinkExperiments(cfg)
+		if err != nil {
+			log.Fatalf("sink experiments: %v", err)
+		}
+		fmt.Println(r.Render())
+	}
+
+	if run("brdgrd") {
+		cfg := experiment.BrdgrdConfig{Seed: *seed}
+		if !*full {
+			cfg.Hours = 200
+			cfg.OnWindows = [][2]int{{60, 110}, {150, 180}}
+			cfg.GFW = gfw.Config{PoolSize: 4000}
+		}
+		r, err := experiment.BrdgrdExperiment(cfg)
+		if err != nil {
+			log.Fatalf("brdgrd experiment: %v", err)
+		}
+		fmt.Println(r.Render())
+	}
+
+	if run("blocking") {
+		cfg := experiment.BlockingConfig{Seed: *seed}
+		if !*full {
+			cfg.Days = 20
+			cfg.GFW = gfw.Config{PoolSize: 4000}
+		}
+		r, err := experiment.BlockingExperiment(cfg)
+		if err != nil {
+			log.Fatalf("blocking experiment: %v", err)
+		}
+		fmt.Println(r.Render())
+	}
+
+	if run("fpstudy") {
+		cfg := experiment.FPStudyConfig{Seed: *seed}
+		if !*full {
+			cfg.FlowsPerKind = 40000
+			cfg.GFW = gfw.Config{PoolSize: 3000}
+		}
+		r, err := experiment.FPStudy(cfg)
+		if err != nil {
+			log.Fatalf("fp study: %v", err)
+		}
+		fmt.Println(r.Render())
+	}
+
+	if run("banstudy") {
+		cfg := experiment.BanStudyConfig{Seed: *seed}
+		if !*full {
+			cfg.Triggers = 120000
+			cfg.GFW = gfw.Config{PoolSize: 4000}
+		}
+		r, err := experiment.BanStudy(cfg)
+		if err != nil {
+			log.Fatalf("ban study: %v", err)
+		}
+		fmt.Println(r.Render())
+	}
+
+	if run("mimicstudy") {
+		cfg := experiment.MimicStudyConfig{Seed: *seed}
+		if !*full {
+			cfg.Triggers = 60000
+			cfg.GFW = gfw.Config{PoolSize: 3000}
+		}
+		r, err := experiment.MimicStudy(cfg)
+		if err != nil {
+			log.Fatalf("mimic study: %v", err)
+		}
+		fmt.Println(r.Render())
+	}
+
+	if run("probecost") {
+		cfg := experiment.ProbeCostConfig{Seed: *seed, Trials: 100}
+		if !*full {
+			cfg.Trials = 50
+		}
+		r, err := experiment.ProbeCost(cfg)
+		if err != nil {
+			log.Fatalf("probe cost: %v", err)
+		}
+		fmt.Println(r.Render())
+	}
+
+	if run("matrix") {
+		cfg := experiment.MatrixConfig{Seed: *seed, Trials: 200}
+		if !*full {
+			cfg.Trials = 60
+		}
+		r, err := experiment.ReactionMatrices(cfg)
+		if err != nil {
+			log.Fatalf("reaction matrices: %v", err)
+		}
+		fmt.Println(r.Render())
+	}
+}

@@ -1,0 +1,105 @@
+// Command probesim is the §5.1 prober simulator for live servers: it
+// sends random probes of every length 1–99 plus 221 bytes (and optionally
+// a replay of a recorded payload) to a host:port and reports the reaction
+// per length, reproducing the corresponding Figure 10 row for whatever
+// implementation is listening.
+//
+// Usage:
+//
+//	probesim -addr HOST:PORT [-timeout 3s] [-trials 3] [-lengths 1-99,221]
+//	probesim -addr HOST:PORT -replay FILE [-mutate 0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"sslab/internal/probesim"
+	"sslab/internal/reaction"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("probesim: ")
+	var (
+		addr    = flag.String("addr", "", "server to probe (host:port)")
+		timeout = flag.Duration("timeout", 3*time.Second, "per-probe timeout (the GFW uses < 10 s)")
+		trials  = flag.Int("trials", 3, "probes per length")
+		lens    = flag.String("lengths", "1-99,221", "comma-separated lengths or ranges")
+		replayF = flag.String("replay", "", "file with a recorded first payload to replay (type R1)")
+		mutate  = flag.String("mutate", "", "comma-separated byte offsets to change in the replay (R2: 0; R4: 16)")
+		seed    = flag.Int64("seed", time.Now().UnixNano(), "random seed for probe contents")
+	)
+	flag.Parse()
+	if *addr == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	p := &probesim.TCPProber{Addr: *addr, Timeout: *timeout}
+	rng := rand.New(rand.NewSource(*seed))
+
+	if *replayF != "" {
+		payload, err := os.ReadFile(*replayF)
+		if err != nil {
+			log.Fatalf("reading replay payload: %v", err)
+		}
+		for _, offStr := range splitNonEmpty(*mutate) {
+			off, err := strconv.Atoi(offStr)
+			if err != nil || off < 0 || off >= len(payload) {
+				log.Fatalf("bad mutation offset %q", offStr)
+			}
+			payload[off] += byte(1 + rng.Intn(255))
+		}
+		r, err := p.Probe(payload, time.Time{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("replay (%d bytes, %d mutations): %v\n", len(payload), len(splitNonEmpty(*mutate)), r)
+		return
+	}
+
+	lengths, err := probesim.ParseLengths(*lens)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("probing %s: %d lengths × %d trials\n", *addr, len(lengths), *trials)
+	for _, n := range lengths {
+		counts := map[reaction.Reaction]int{}
+		for i := 0; i < *trials; i++ {
+			payload := make([]byte, n)
+			rng.Read(payload)
+			r, err := p.Probe(payload, time.Time{})
+			if err != nil {
+				log.Fatalf("len %d: %v", n, err)
+			}
+			counts[r]++
+		}
+		fmt.Printf("  len %3d: %s\n", n, summarize(counts, *trials))
+	}
+}
+
+func summarize(counts map[reaction.Reaction]int, trials int) string {
+	var parts []string
+	for _, r := range []reaction.Reaction{reaction.Timeout, reaction.RST, reaction.FINACK, reaction.Data} {
+		if c := counts[r]; c > 0 {
+			parts = append(parts, fmt.Sprintf("%s×%d", r, c))
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+func splitNonEmpty(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+// Command sslab-client runs a local SOCKS5 proxy that tunnels traffic
+// through a Shadowsocks server, optionally with brdgrd-style first-flight
+// shaping (the §7.1 mitigation) applied on the client side.
+//
+// Usage:
+//
+//	sslab-client -server HOST:8388 -method chacha20-ietf-poly1305 -password SECRET \
+//	    [-socks 127.0.0.1:1080] [-shape MIN:MAX]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"sslab/internal/defense"
+	"sslab/internal/ssclient"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	log.SetPrefix("sslab-client: ")
+	var (
+		server   = flag.String("server", "", "Shadowsocks server (host:port, required)")
+		method   = flag.String("method", "chacha20-ietf-poly1305", "cipher method")
+		password = flag.String("password", "", "shared password (required)")
+		socks    = flag.String("socks", "127.0.0.1:1080", "local SOCKS5 listen address")
+		shape    = flag.String("shape", "", "split the first flight into MIN:MAX byte segments (brdgrd-style)")
+	)
+	flag.Parse()
+	if *server == "" || *password == "" {
+		fmt.Fprintln(os.Stderr, "sslab-client: -server and -password are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := ssclient.Config{Server: *server, Method: *method, Password: *password}
+	if *shape != "" {
+		lo, hi, err := parseShape(*shape)
+		if err != nil {
+			log.Fatal(err)
+		}
+		guard := defense.NewBrdgrd(lo, hi, time.Now().UnixNano())
+		cfg.Shaper = guard.ConnShaper()
+		log.Printf("first-flight shaping active: %d–%d byte segments", lo, hi)
+	}
+	client, err := ssclient.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *socks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("SOCKS5 on %s → %s (%s)", ln.Addr(), *server, *method)
+	log.Fatal(client.ServeSOCKS5(ln))
+}
+
+func parseShape(s string) (lo, hi int, err error) {
+	a, b, ok := strings.Cut(s, ":")
+	if !ok {
+		return 0, 0, fmt.Errorf("bad -shape %q, want MIN:MAX", s)
+	}
+	lo, err1 := strconv.Atoi(a)
+	hi, err2 := strconv.Atoi(b)
+	if err1 != nil || err2 != nil || lo < 1 || hi < lo {
+		return 0, 0, fmt.Errorf("bad -shape %q, want 1 <= MIN <= MAX", s)
+	}
+	return lo, hi, nil
+}

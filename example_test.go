@@ -1,0 +1,54 @@
+package sslab_test
+
+import (
+	"fmt"
+	"time"
+
+	"sslab"
+)
+
+// ExampleListenServer runs a hardened Shadowsocks server, probes it with
+// a 221-byte random payload (the GFW's NR2 probe), and observes the
+// §7.2-recommended reaction: a timeout, indistinguishable from a silent
+// service.
+func ExampleListenServer() {
+	srv, err := sslab.ListenServer("127.0.0.1:0", sslab.ServerConfig{
+		Method:   "chacha20-ietf-poly1305",
+		Password: "example-secret",
+	})
+	if err != nil {
+		fmt.Println("listen:", err)
+		return
+	}
+	defer srv.Close()
+
+	prober := &sslab.TCPProber{Addr: srv.Addr().String(), Timeout: 400 * time.Millisecond}
+	reactionSeen, err := prober.Probe(make([]byte, 221), time.Time{})
+	if err != nil {
+		fmt.Println("probe:", err)
+		return
+	}
+	fmt.Println("hardened server reaction to an NR2 probe:", reactionSeen)
+	// Output: hardened server reaction to an NR2 probe: TIMEOUT
+}
+
+// ExampleRunReactionMatrices regenerates one Figure 10b fingerprint: the
+// OutlineVPN v1.0.6 FIN/ACK band at exactly 50 bytes.
+func ExampleRunReactionMatrices() {
+	report, err := sslab.RunReactionMatrices(sslab.MatrixConfig{Seed: 1, Trials: 20})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, m := range report.AEAD {
+		if m.Versions == "v1.0.6" {
+			fmt.Printf("len 49: %v\n", m.Cells[49].Dominant())
+			fmt.Printf("len 50: %v\n", m.Cells[50].Dominant())
+			fmt.Printf("len 51: %v\n", m.Cells[51].Dominant())
+		}
+	}
+	// Output:
+	// len 49: TIMEOUT
+	// len 50: FIN/ACK
+	// len 51: RST
+}

@@ -1,0 +1,104 @@
+// Active-probe demo: put an OutlineVPN-like server (no replay defense) and
+// a Shadowsocks-libev-like server (replay filter) behind the simulated
+// GFW, drive genuine client traffic, and watch the censor's staged
+// escalation — the outline server answers identical replays with data and
+// graduates to the targeted R3/R4 probes, while the libev server never
+// does, exactly as §3.2 and §4.2 observed.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"sslab/internal/experiment"
+	"sslab/internal/gfw"
+	"sslab/internal/netsim"
+	"sslab/internal/probe"
+	"sslab/internal/reaction"
+	"sslab/internal/sscrypto"
+	"sslab/internal/trafficgen"
+)
+
+func main() {
+	log.SetFlags(0)
+	sim := netsim.NewSim()
+	network := netsim.NewNetwork(sim)
+	censor := gfw.New(sim, network, gfw.Config{Seed: 7, PoolSize: 3000})
+	network.AddMiddlebox(censor)
+
+	outlineEP := netsim.Endpoint{IP: "178.62.30.1", Port: 443}
+	libevEP := netsim.Endpoint{IP: "178.62.30.2", Port: 8388}
+	client := netsim.Endpoint{IP: "150.109.30.1", Port: 40000}
+
+	outline, err := experiment.NewServerHost(sim, reaction.Outline107, "chacha20-ietf-poly1305", "pw")
+	if err != nil {
+		log.Fatal(err)
+	}
+	libev, err := experiment.NewServerHost(sim, reaction.LibevNew, "aes-256-gcm", "pw")
+	if err != nil {
+		log.Fatal(err)
+	}
+	network.AddHost(outlineEP, outline)
+	network.AddHost(libevEP, libev)
+
+	// Genuine usage: a client browsing through both proxies for 3 weeks.
+	tg := trafficgen.New(7)
+	ccp, _ := sscrypto.Lookup("chacha20-ietf-poly1305")
+	gcm, _ := sscrypto.Lookup("aes-256-gcm")
+	end := netsim.Epoch.Add(21 * 24 * time.Hour)
+	var tick func()
+	tick = func() {
+		if sim.Now().After(end) {
+			return
+		}
+		network.Connect(client, outlineEP, tg.FirstWirePacket(ccp, trafficgen.BrowseAlexa), false, time.Time{})
+		network.Connect(client, libevEP, tg.FirstWirePacket(gcm, trafficgen.CurlHTTPS), false, time.Time{})
+		sim.After(40*time.Second, tick)
+	}
+	sim.After(0, tick)
+	sim.Run()
+
+	fmt.Printf("3 weeks of virtual time, %d trigger connections, %d probes sent\n\n",
+		censor.Triggers, censor.Log.Len())
+
+	show := func(name string, ep netsim.Endpoint) {
+		counts := map[probe.Type]int{}
+		for i := range censor.Log.Records {
+			if censor.Log.Records[i].DstIP == ep.IP {
+				counts[censor.Log.Records[i].Type]++
+			}
+		}
+		fmt.Printf("%s (stage %d):\n", name, censor.Stage(ep))
+		for _, t := range []probe.Type{probe.R1, probe.R2, probe.R3, probe.R4, probe.R5, probe.R6, probe.NR1, probe.NR2} {
+			if counts[t] > 0 {
+				fmt.Printf("  %-4v %4d  %s\n", t, counts[t], describe(t))
+			}
+		}
+		fmt.Println()
+	}
+	show("OutlineVPN v1.0.7 (no replay defense)", outlineEP)
+	show("Shadowsocks-libev v3.3.1 (ppbloom replay filter)", libevEP)
+}
+
+func describe(t probe.Type) string {
+	switch t {
+	case probe.R1:
+		return "identical replay of a recorded client flight"
+	case probe.R2:
+		return "replay, byte 0 changed (IV/salt attack)"
+	case probe.R3:
+		return "replay, bytes 0–7 and 62–63 changed — stage 2 only"
+	case probe.R4:
+		return "replay, byte 16 changed — stage 2 only"
+	case probe.R5:
+		return "replay, bytes 6 and 16 changed — rare"
+	case probe.R6:
+		return "replay, bytes 16–32 changed"
+	case probe.NR1:
+		return "random, lengths straddling IV-size thresholds"
+	case probe.NR2:
+		return "random, exactly 221 bytes"
+	}
+	return ""
+}

@@ -1,0 +1,63 @@
+// Inference demo (§5.2.2): play the attacker. Scan each Shadowsocks
+// implementation with random probes of every length 1–99 plus 221, then
+// recover what it is running from the reactions alone — construction,
+// IV/salt size (a 12-byte IV even pins the exact cipher), and version
+// family. The post-disclosure behaviours are opaque: nothing can be
+// inferred, which is the whole point of the §7.2 recommendations.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sslab/internal/probesim"
+	"sslab/internal/reaction"
+	"sslab/internal/sscrypto"
+)
+
+func main() {
+	log.SetFlags(0)
+	configs := []struct {
+		profile reaction.Profile
+		method  string
+	}{
+		{reaction.LibevOld, "chacha20"},
+		{reaction.LibevOld, "chacha20-ietf"},
+		{reaction.LibevOld, "aes-256-ctr"},
+		{reaction.LibevOld, "aes-192-gcm"},
+		{reaction.Outline106, "chacha20-ietf-poly1305"},
+		{reaction.LibevNew, "aes-256-ctr"},
+		{reaction.Outline107, "chacha20-ietf-poly1305"},
+		{reaction.Hardened, "chacha20-ietf-poly1305"},
+	}
+	fmt.Printf("%-50s %s\n", "actually running", "attacker's inference from reactions")
+	for i, c := range configs {
+		spec, err := sscrypto.Lookup(c.method)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := probesim.ScanRandom(c.profile, spec, "inference-pw",
+			probesim.RandomProbeLengths(), 300, int64(i+1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		inf := probesim.Infer(m)
+		truth := fmt.Sprintf("%s %s / %s", c.profile.Name, c.profile.Versions, c.method)
+		fmt.Printf("%-50s %s\n", truth, describe(inf))
+	}
+}
+
+func describe(inf probesim.Inference) string {
+	if !inf.Confident {
+		return "nothing — consistent timeouts, indistinguishable from a silent service"
+	}
+	out := fmt.Sprintf("%v construction", inf.Kind)
+	if inf.IVSize > 0 {
+		out += fmt.Sprintf(", %d-byte IV/salt", inf.IVSize)
+	}
+	out += fmt.Sprintf(", %s %s", inf.Profile.Name, inf.Profile.Versions)
+	if inf.CipherHint != "" {
+		out += fmt.Sprintf(" (cipher must be %s)", inf.CipherHint)
+	}
+	return out
+}

@@ -1,0 +1,20 @@
+// Reaction-matrix demo: regenerate Figure 10a, Figure 10b and Table 5 —
+// how every studied Shadowsocks implementation reacts to random probes of
+// each length and to replays, the fingerprints the GFW's probes exploit.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sslab"
+)
+
+func main() {
+	log.SetFlags(0)
+	report, err := sslab.RunReactionMatrices(sslab.MatrixConfig{Seed: 5, Trials: 100})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(report.Render())
+}

@@ -1,0 +1,73 @@
+// UDP tunnel demo: relay datagrams (a DNS-style query/response exchange)
+// through a Shadowsocks server's UDP associate path. Every datagram is
+// independently encrypted with a fresh salt, so the tunnel looks like
+// unrelated random packets on the wire.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"sslab"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A local UDP responder stands in for a resolver.
+	resolver, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resolver.Close()
+	go func() {
+		buf := make([]byte, 1500)
+		for {
+			n, from, err := resolver.ReadFrom(buf)
+			if err != nil {
+				return
+			}
+			resolver.WriteTo(append([]byte("answer-to:"), buf[:n]...), from)
+		}
+	}()
+
+	// The Shadowsocks server, relaying both TCP and UDP.
+	srv, err := sslab.NewServer(sslab.ServerConfig{
+		Method: "chacha20-ietf-poly1305", Password: "udp-secret",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer pc.Close()
+	go srv.ServeUDP(pc)
+	fmt.Printf("shadowsocks UDP relay on %s\n", pc.LocalAddr())
+
+	client, err := sslab.NewClient(sslab.ClientConfig{
+		Server: pc.LocalAddr().String(), Method: "chacha20-ietf-poly1305", Password: "udp-secret",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	u, err := client.DialUDP()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer u.Close()
+
+	for _, q := range []string{"example.com?", "gfw.report?"} {
+		if err := u.Send(resolver.LocalAddr().String(), []byte(q)); err != nil {
+			log.Fatal(err)
+		}
+		from, answer, err := u.Recv(time.Now().Add(3 * time.Second))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("query %-14q -> %q (from %s)\n", q, answer, from)
+	}
+}

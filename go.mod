@@ -1,0 +1,3 @@
+module sslab
+
+go 1.22

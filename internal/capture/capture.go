@@ -1,0 +1,265 @@
+// Package capture holds packet-level records of observed active probes and
+// the analysis functions the paper's measurement pipeline applies to them:
+// per-IP counts (Figure 3, Table 2), AS attribution (Table 3), source-port
+// distribution (Figure 5), TCP-timestamp process clustering (Figure 6),
+// replay-delay measurement (Figure 7), probe-type classification (§3.2),
+// and cross-dataset overlap (Figure 4).
+package capture
+
+import (
+	"sort"
+	"time"
+
+	"sslab/internal/probe"
+	"sslab/internal/stats"
+)
+
+// Record is one captured probe connection, with the packet-level
+// fingerprints §3.4 examines.
+type Record struct {
+	Time    time.Time
+	SrcIP   string
+	SrcPort int
+	DstIP   string
+	DstPort int
+	ASN     int    // origin autonomous system of SrcIP
+	TTL     int    // IP TTL observed at the server
+	IPID    uint16 // IP identification field
+	TSval   uint32 // TCP timestamp option on the SYN
+	Payload []byte
+	// Type is the classified probe type (set by Classify or by the
+	// generator when ground truth is available).
+	Type probe.Type
+	// ReplayOf is when the replayed payload was originally recorded
+	// (zero for non-replay probes).
+	ReplayOf time.Time
+}
+
+// Delay returns the replay delay, or zero for non-replay probes.
+func (r *Record) Delay() time.Duration {
+	if r.ReplayOf.IsZero() {
+		return 0
+	}
+	return r.Time.Sub(r.ReplayOf)
+}
+
+// Log is an append-only collection of probe records.
+type Log struct {
+	Records []Record
+	start   time.Time
+}
+
+// NewLog creates a Log; start anchors relative timestamps for analysis.
+func NewLog(start time.Time) *Log { return &Log{start: start} }
+
+// Add appends a record.
+func (l *Log) Add(r Record) { l.Records = append(l.Records, r) }
+
+// Len returns the number of records.
+func (l *Log) Len() int { return len(l.Records) }
+
+// UniqueIPs returns the distinct source IPs.
+func (l *Log) UniqueIPs() []string {
+	seen := map[string]bool{}
+	var out []string
+	for i := range l.Records {
+		ip := l.Records[i].SrcIP
+		if !seen[ip] {
+			seen[ip] = true
+			out = append(out, ip)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ProbesPerIP returns the count of probes per source IP.
+func (l *Log) ProbesPerIP() map[string]int {
+	out := map[string]int{}
+	for i := range l.Records {
+		out[l.Records[i].SrcIP]++
+	}
+	return out
+}
+
+// MultiUseFraction is the share of source IPs that sent more than one
+// probe — the paper found >75%, versus ~5% in 2015-era work.
+func (l *Log) MultiUseFraction() float64 {
+	per := l.ProbesPerIP()
+	if len(per) == 0 {
+		return 0
+	}
+	multi := 0
+	for _, c := range per {
+		if c > 1 {
+			multi++
+		}
+	}
+	return float64(multi) / float64(len(per))
+}
+
+// IPCount pairs an IP with its probe count.
+type IPCount struct {
+	IP    string
+	Count int
+}
+
+// TopIPs returns the k most active prober IPs (Table 2).
+func (l *Log) TopIPs(k int) []IPCount {
+	per := l.ProbesPerIP()
+	all := make([]IPCount, 0, len(per))
+	for ip, c := range per {
+		all = append(all, IPCount{ip, c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Count != all[j].Count {
+			return all[i].Count > all[j].Count
+		}
+		return all[i].IP < all[j].IP
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	return all[:k]
+}
+
+// ASCounts returns unique prober IPs per AS (Table 3 counts unique
+// addresses, not probes).
+func (l *Log) ASCounts() map[int]int {
+	ipAS := map[string]int{}
+	for i := range l.Records {
+		ipAS[l.Records[i].SrcIP] = l.Records[i].ASN
+	}
+	out := map[int]int{}
+	for _, asn := range ipAS {
+		out[asn]++
+	}
+	return out
+}
+
+// SourcePorts returns all source ports as float64s for CDF analysis.
+func (l *Log) SourcePorts() *stats.CDF {
+	s := make([]float64, len(l.Records))
+	for i := range l.Records {
+		s[i] = float64(l.Records[i].SrcPort)
+	}
+	return stats.NewCDF(s)
+}
+
+// TSPoints converts records to (relative seconds, TSval) points.
+func (l *Log) TSPoints() []stats.TSPoint {
+	out := make([]stats.TSPoint, len(l.Records))
+	for i := range l.Records {
+		out[i] = stats.TSPoint{
+			T:     l.Records[i].Time.Sub(l.start).Seconds(),
+			TSval: l.Records[i].TSval,
+		}
+	}
+	return out
+}
+
+// ReplayDelays returns the delays of replay-based probes in seconds:
+// all occurrences, and first occurrences per distinct payload (the two
+// distributions of Figure 7).
+func (l *Log) ReplayDelays() (all, first *stats.CDF) {
+	var allS []float64
+	firstSeen := map[string]time.Duration{}
+	for i := range l.Records {
+		r := &l.Records[i]
+		if r.ReplayOf.IsZero() {
+			continue
+		}
+		d := r.Delay()
+		allS = append(allS, d.Seconds())
+		key := string(r.Payload)
+		if prev, ok := firstSeen[key]; !ok || d < prev {
+			firstSeen[key] = d
+		}
+	}
+	var firstS []float64
+	for _, d := range firstSeen {
+		firstS = append(firstS, d.Seconds())
+	}
+	return stats.NewCDF(allS), stats.NewCDF(firstS)
+}
+
+// TypeCounts tallies records by probe type.
+func (l *Log) TypeCounts() map[probe.Type]int {
+	out := map[probe.Type]int{}
+	for i := range l.Records {
+		out[l.Records[i].Type]++
+	}
+	return out
+}
+
+// LengthHistogram returns payload-length counts for records matching the
+// given predicate (nil matches all) — the data behind Figures 2 and 8.
+func (l *Log) LengthHistogram(match func(*Record) bool) *stats.Histogram {
+	h := stats.NewHistogram()
+	for i := range l.Records {
+		if match == nil || match(&l.Records[i]) {
+			h.Add(len(l.Records[i].Payload))
+		}
+	}
+	return h
+}
+
+// Classify assigns Type to every record by matching payloads against the
+// recorded legitimate first packets, as the paper's offline analysis did.
+func (l *Log) Classify(legit [][]byte) {
+	for i := range l.Records {
+		l.Records[i].Type = probe.Classify(l.Records[i].Payload, legit)
+	}
+}
+
+// Overlap computes the 7 Venn regions for three IP sets (Figure 4).
+type Overlap struct {
+	AOnly, BOnly, COnly int
+	AB, AC, BC          int
+	ABC                 int
+}
+
+// ComputeOverlap intersects three string sets.
+func ComputeOverlap(a, b, c []string) Overlap {
+	sa, sb, sc := toSet(a), toSet(b), toSet(c)
+	var o Overlap
+	for ip := range sa {
+		switch {
+		case sb[ip] && sc[ip]:
+			o.ABC++
+		case sb[ip]:
+			o.AB++
+		case sc[ip]:
+			o.AC++
+		default:
+			o.AOnly++
+		}
+	}
+	for ip := range sb {
+		switch {
+		case sa[ip]:
+			// counted above
+		case sc[ip]:
+			o.BC++
+		default:
+			o.BOnly++
+		}
+	}
+	for ip := range sc {
+		if !sa[ip] && !sb[ip] {
+			o.COnly++
+		}
+	}
+	return o
+}
+
+func toSet(xs []string) map[string]bool {
+	m := make(map[string]bool, len(xs))
+	for _, x := range xs {
+		m[x] = true
+	}
+	return m
+}
+
+// typeFromName resolves a stored probe-type name.
+func typeFromName(name string) probe.Type { return probe.FromName(name) }

@@ -1,0 +1,139 @@
+package capture
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"sslab/internal/probe"
+)
+
+var t0 = time.Date(2019, 9, 29, 0, 0, 0, 0, time.UTC)
+
+func mkLog() *Log {
+	l := NewLog(t0)
+	// Three probes from ip1, one from ip2.
+	for i := 0; i < 3; i++ {
+		l.Add(Record{
+			Time: t0.Add(time.Duration(i) * time.Hour), SrcIP: "175.42.1.21", SrcPort: 40000 + i,
+			ASN: 4837, Payload: []byte{1, 2, 3}, TSval: uint32(1000 + 250*3600*i),
+		})
+	}
+	l.Add(Record{
+		Time: t0.Add(time.Minute), SrcIP: "223.166.74.207", SrcPort: 2000,
+		ASN: 4134, Payload: make([]byte, 221),
+	})
+	return l
+}
+
+func TestPerIPAnalysis(t *testing.T) {
+	l := mkLog()
+	if got := len(l.UniqueIPs()); got != 2 {
+		t.Errorf("unique IPs = %d", got)
+	}
+	if f := l.MultiUseFraction(); f != 0.5 {
+		t.Errorf("multi-use fraction = %v", f)
+	}
+	top := l.TopIPs(1)
+	if top[0].IP != "175.42.1.21" || top[0].Count != 3 {
+		t.Errorf("top = %+v", top)
+	}
+	as := l.ASCounts()
+	if as[4837] != 1 || as[4134] != 1 {
+		t.Errorf("AS counts = %v (unique IPs per AS)", as)
+	}
+}
+
+func TestReplayDelays(t *testing.T) {
+	l := NewLog(t0)
+	pay := []byte("recorded-payload-content")
+	rec := t0
+	// Same payload replayed at +1s and +1h; another payload at +10s.
+	l.Add(Record{Time: t0.Add(time.Second), Payload: pay, Type: probe.R1, ReplayOf: rec})
+	l.Add(Record{Time: t0.Add(time.Hour), Payload: pay, Type: probe.R1, ReplayOf: rec})
+	l.Add(Record{Time: t0.Add(10 * time.Second), Payload: []byte("other"), Type: probe.R1, ReplayOf: t0})
+	l.Add(Record{Time: t0.Add(time.Minute), Payload: make([]byte, 221), Type: probe.NR2})
+
+	all, first := l.ReplayDelays()
+	if all.Len() != 3 {
+		t.Errorf("all delays = %d, want 3", all.Len())
+	}
+	if first.Len() != 2 {
+		t.Errorf("first delays = %d, want 2", first.Len())
+	}
+	if first.Max() > 11 {
+		t.Errorf("first-delay max %v; repeated replay leaked in", first.Max())
+	}
+}
+
+func TestClassifyIntegration(t *testing.T) {
+	l := NewLog(t0)
+	legit := [][]byte{make([]byte, 300)}
+	for i := range legit[0] {
+		legit[0][i] = byte(i)
+	}
+	id := append([]byte(nil), legit[0]...)
+	l.Add(Record{Payload: id})
+	mut := append([]byte(nil), legit[0]...)
+	mut[0] ^= 0xff
+	l.Add(Record{Payload: mut})
+	l.Add(Record{Payload: make([]byte, 221)})
+	l.Classify(legit)
+	if l.Records[0].Type != probe.R1 || l.Records[1].Type != probe.R2 || l.Records[2].Type != probe.NR2 {
+		t.Errorf("types = %v %v %v", l.Records[0].Type, l.Records[1].Type, l.Records[2].Type)
+	}
+}
+
+func TestLengthHistogram(t *testing.T) {
+	l := mkLog()
+	h := l.LengthHistogram(nil)
+	if h.Count(3) != 3 || h.Count(221) != 1 {
+		t.Errorf("histogram = %v", h.Counts)
+	}
+	h221 := l.LengthHistogram(func(r *Record) bool { return len(r.Payload) == 221 })
+	if h221.Total != 1 {
+		t.Errorf("filtered total = %d", h221.Total)
+	}
+}
+
+func TestComputeOverlap(t *testing.T) {
+	mk := func(prefix string, n int, shared ...string) []string {
+		out := append([]string(nil), shared...)
+		for i := 0; i < n; i++ {
+			out = append(out, fmt.Sprintf("%s.%d", prefix, i))
+		}
+		return out
+	}
+	a := mk("a", 100, "x.1", "y.1", "z.1")
+	b := mk("b", 200, "x.1", "z.1")
+	c := mk("c", 50, "y.1", "z.1")
+	o := ComputeOverlap(a, b, c)
+	if o.AOnly != 100 || o.BOnly != 200 || o.COnly != 50 {
+		t.Errorf("onlies = %d/%d/%d", o.AOnly, o.BOnly, o.COnly)
+	}
+	if o.AB != 1 || o.AC != 1 || o.BC != 0 || o.ABC != 1 {
+		t.Errorf("overlaps = AB%d AC%d BC%d ABC%d", o.AB, o.AC, o.BC, o.ABC)
+	}
+}
+
+func TestSourcePortsCDF(t *testing.T) {
+	l := mkLog()
+	cdf := l.SourcePorts()
+	if cdf.Len() != 4 {
+		t.Errorf("ports = %d", cdf.Len())
+	}
+	if cdf.Min() != 2000 {
+		t.Errorf("min port = %v", cdf.Min())
+	}
+}
+
+func TestTSPoints(t *testing.T) {
+	l := mkLog()
+	pts := l.TSPoints()
+	if len(pts) != 4 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[1].T != 3600 {
+		t.Errorf("relative time = %v, want 3600", pts[1].T)
+	}
+}

@@ -1,0 +1,75 @@
+package capture
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"sslab/internal/probe"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	l := NewLog(t0)
+	l.Add(Record{
+		Time: t0.Add(3 * time.Second), SrcIP: "175.42.1.21", SrcPort: 41234,
+		DstIP: "178.62.1.1", DstPort: 8388, ASN: 4837, TTL: 48, IPID: 0xBEEF,
+		TSval: 123456789, Payload: []byte{0, 1, 2, 0xFF}, Type: probe.R1,
+		ReplayOf: t0,
+	})
+	l.Add(Record{
+		Time: t0.Add(time.Hour), SrcIP: "223.166.74.207", SrcPort: 2000,
+		Payload: make([]byte, 221), Type: probe.NR2,
+	})
+
+	var buf bytes.Buffer
+	if err := l.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != l.Len() {
+		t.Fatalf("records = %d, want %d", got.Len(), l.Len())
+	}
+	a, b := &l.Records[0], &got.Records[0]
+	if !a.Time.Equal(b.Time) || a.SrcIP != b.SrcIP || a.SrcPort != b.SrcPort ||
+		a.ASN != b.ASN || a.TTL != b.TTL || a.IPID != b.IPID || a.TSval != b.TSval {
+		t.Errorf("fields differ: %+v vs %+v", a, b)
+	}
+	if !bytes.Equal(a.Payload, b.Payload) {
+		t.Error("payload corrupted")
+	}
+	if b.Type != probe.R1 || !b.ReplayOf.Equal(t0) {
+		t.Errorf("type/replay lost: %v %v", b.Type, b.ReplayOf)
+	}
+	if got.Records[1].Type != probe.NR2 || !got.Records[1].ReplayOf.IsZero() {
+		t.Error("NR2 record mangled")
+	}
+
+	// Analysis still works on the round-tripped log.
+	if got.MultiUseFraction() != l.MultiUseFraction() {
+		t.Error("analysis differs after round trip")
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"start":"2019-09-29T00:00:00Z","records":1}` + "\ngarbage\n")); err == nil {
+		t.Error("garbage record accepted")
+	}
+}
+
+func TestProbeTypeNameRoundTrip(t *testing.T) {
+	for _, typ := range []probe.Type{probe.Unknown, probe.R1, probe.R5, probe.NR1, probe.NR3} {
+		if got := probe.FromName(typ.String()); got != typ {
+			t.Errorf("FromName(%q) = %v", typ.String(), got)
+		}
+	}
+	if probe.FromName("bogus") != probe.Unknown {
+		t.Error("bogus name not Unknown")
+	}
+}

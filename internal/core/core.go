@@ -1,0 +1,135 @@
+// Package core is the canonical entry point to the paper's primary
+// contribution: a complete, calibrated model of how the GFW detects and
+// blocks Shadowsocks. It composes the discrete-event network
+// (internal/netsim), the censor (internal/gfw), and per-implementation
+// server behaviour (internal/reaction via internal/experiment hosts) into
+// a Lab — a ready-to-run simulated measurement environment, the same
+// construction every experiment harness uses.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"sslab/internal/experiment"
+	"sslab/internal/gfw"
+	"sslab/internal/netsim"
+	"sslab/internal/reaction"
+	"sslab/internal/sscrypto"
+	"sslab/internal/trafficgen"
+)
+
+// Lab is one simulated measurement environment: a virtual clock, a
+// network with the GFW on the border path, and any number of Shadowsocks
+// deployments with scripted client traffic.
+type Lab struct {
+	Sim *netsim.Sim
+	Net *netsim.Network
+	GFW *gfw.GFW
+
+	nextServerIP int
+	nextClientIP int
+}
+
+// NewLab builds an empty lab with the censor attached.
+func NewLab(cfg gfw.Config) *Lab {
+	sim := netsim.NewSim()
+	net := netsim.NewNetwork(sim)
+	g := gfw.New(sim, net, cfg)
+	net.AddMiddlebox(g)
+	return &Lab{Sim: sim, Net: net, GFW: g}
+}
+
+// Deployment is one server plus its scripted client.
+type Deployment struct {
+	Name   string
+	Server netsim.Endpoint
+	Client netsim.Endpoint
+	Host   *experiment.ServerHost
+
+	lab      *Lab
+	spec     sscrypto.Spec
+	workload trafficgen.Workload
+	tg       *trafficgen.Generator
+	interval time.Duration
+	stop     time.Time
+	shape    func([]byte) []byte
+}
+
+// AddDeployment creates a server with the given behaviour profile and
+// cipher method, plus a client that connects every interval using the
+// workload, until the lab's Run horizon.
+func (l *Lab) AddDeployment(name string, profile reaction.Profile, method, password string,
+	workload trafficgen.Workload, interval time.Duration) (*Deployment, error) {
+
+	host, err := experiment.NewServerHost(l.Sim, profile, method, password)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := sscrypto.Lookup(method)
+	if err != nil {
+		return nil, err
+	}
+	l.nextServerIP++
+	l.nextClientIP++
+	d := &Deployment{
+		Name:     name,
+		Server:   netsim.Endpoint{IP: fmt.Sprintf("178.62.70.%d", l.nextServerIP), Port: 8388},
+		Client:   netsim.Endpoint{IP: fmt.Sprintf("150.109.70.%d", l.nextClientIP), Port: 40000},
+		Host:     host,
+		lab:      l,
+		spec:     spec,
+		workload: workload,
+		tg:       trafficgen.New(int64(l.nextServerIP) * 7919),
+		interval: interval,
+	}
+	l.Net.AddHost(d.Server, host)
+	return d, nil
+}
+
+// Shape installs a first-packet transformer on the deployment's client —
+// the hook for brdgrd segmentation or TLS framing.
+func (d *Deployment) Shape(f func([]byte) []byte) { d.shape = f }
+
+// Run advances the lab by duration, driving every deployment's client
+// loop, and drains all scheduled censor activity falling inside the
+// window plus the trailing probe deliveries.
+func (l *Lab) Run(duration time.Duration, deployments ...*Deployment) {
+	end := l.Sim.Now().Add(duration)
+	for _, d := range deployments {
+		d.stop = end
+		d.schedule()
+	}
+	l.Sim.Run()
+}
+
+// schedule arms the deployment's self-rescheduling client tick.
+func (d *Deployment) schedule() {
+	var tick func()
+	tick = func() {
+		if d.lab.Sim.Now().After(d.stop) {
+			return
+		}
+		wire := d.tg.FirstWirePacket(d.spec, d.workload)
+		if d.shape != nil {
+			wire = d.shape(wire)
+		}
+		d.lab.Net.Connect(d.Client, d.Server, wire, false, time.Time{})
+		d.lab.Sim.After(d.interval, tick)
+	}
+	d.lab.Sim.After(0, tick)
+}
+
+// Probes returns how many probes the deployment's server has received.
+func (d *Deployment) Probes() int {
+	n := 0
+	for i := range d.lab.GFW.Log.Records {
+		if d.lab.GFW.Log.Records[i].DstIP == d.Server.IP {
+			n++
+		}
+	}
+	return n
+}
+
+// Blocked reports whether the deployment is currently null-routed.
+func (d *Deployment) Blocked() bool { return d.lab.Net.IsBlocked(d.Server) }

@@ -1,0 +1,132 @@
+// Package defense implements the circumvention-side mitigations of §7:
+// brdgrd-style traffic shaping that breaks the client's first flight into
+// small segments (defeating the GFW's first-packet length feature, §7.1),
+// and helpers for evaluating defenses in both the flow-level simulator and
+// over real TCP connections.
+package defense
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+)
+
+// Brdgrd emulates Philipp Winter's bridge guard: by announcing a small TCP
+// window during the handshake, the server forces the client to split its
+// first flight into segments no larger than the window. The GFW does not
+// reassemble TCP segments for its first-packet classifier, so the "first
+// data packet" it sees is at most MaxWindow bytes — far below the 160-byte
+// floor of the replay trigger.
+type Brdgrd struct {
+	// MinWindow and MaxWindow bound the advertised window; the real tool
+	// randomizes within a range to be less fingerprintable (at the cost
+	// of a new fingerprint — inconsistent window sizes, a limitation
+	// §7.1 discusses).
+	MinWindow, MaxWindow int
+
+	mu  sync.Mutex
+	rng *rand.Rand
+	// Active toggles the guard (the Figure 11 experiment flips it).
+	active bool
+}
+
+// NewBrdgrd returns a guard with the given window range, initially active.
+func NewBrdgrd(minWindow, maxWindow int, seed int64) *Brdgrd {
+	if minWindow < 1 {
+		minWindow = 1
+	}
+	if maxWindow < minWindow {
+		maxWindow = minWindow
+	}
+	return &Brdgrd{
+		MinWindow: minWindow,
+		MaxWindow: maxWindow,
+		rng:       rand.New(rand.NewSource(seed)),
+		active:    true,
+	}
+}
+
+// SetActive enables or disables the guard.
+func (b *Brdgrd) SetActive(on bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.active = on
+}
+
+// Active reports whether the guard is shaping traffic.
+func (b *Brdgrd) Active() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.active
+}
+
+// window draws the current advertised window.
+func (b *Brdgrd) window() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.MinWindow + b.rng.Intn(b.MaxWindow-b.MinWindow+1)
+}
+
+// FirstSegment returns what the censor's first-packet classifier sees of
+// payload: the whole payload when inactive, or only the first
+// window-sized segment when active. This is the flow-level model used by
+// the netsim experiments.
+func (b *Brdgrd) FirstSegment(payload []byte) []byte {
+	if !b.Active() || len(payload) == 0 {
+		return payload
+	}
+	w := b.window()
+	if w >= len(payload) {
+		return payload
+	}
+	return payload[:w]
+}
+
+// ConnShaper returns an ssclient-compatible shaper that splits the first
+// write on a real TCP connection into window-sized segments. Note the §7.1
+// caveat: some implementations (old Shadowsocks-libev) RST when the first
+// segment cannot contain a complete target specification, so very small
+// windows can break connectivity.
+func (b *Brdgrd) ConnShaper() func(net.Conn) net.Conn {
+	return func(c net.Conn) net.Conn {
+		return &shapedConn{Conn: c, guard: b}
+	}
+}
+
+// shapedConn splits the first Write into segments of at most one window.
+type shapedConn struct {
+	net.Conn
+	guard *Brdgrd
+	wrote bool
+}
+
+func (s *shapedConn) Write(p []byte) (int, error) {
+	if s.wrote || !s.guard.Active() {
+		s.wrote = true
+		return s.Conn.Write(p)
+	}
+	s.wrote = true
+	total := 0
+	for len(p) > 0 {
+		w := s.guard.window()
+		if w > len(p) {
+			w = len(p)
+		}
+		n, err := s.Conn.Write(p[:w])
+		total += n
+		if err != nil {
+			return total, err
+		}
+		p = p[w:]
+	}
+	return total, nil
+}
+
+// ConsistentReactions is the §7.2 server-side recommendation expressed as
+// a checklist, used by documentation and the hardened profile's tests.
+var ConsistentReactions = []string{
+	"use AEAD ciphers exclusively; deprecate unauthenticated constructions",
+	"filter replays by nonce AND timestamp so nonces need only bounded memory",
+	"react to every error by reading until timeout, never by immediate close",
+	"make the first server packet size variable (merge header and data)",
+}

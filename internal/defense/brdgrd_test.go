@@ -1,0 +1,144 @@
+package defense
+
+import (
+	"bytes"
+	"net"
+	"testing"
+)
+
+func TestFirstSegmentClamps(t *testing.T) {
+	b := NewBrdgrd(4, 16, 1)
+	payload := make([]byte, 500)
+	for i := 0; i < 100; i++ {
+		seg := b.FirstSegment(payload)
+		if len(seg) < 4 || len(seg) > 16 {
+			t.Fatalf("segment length %d outside window [4,16]", len(seg))
+		}
+	}
+}
+
+func TestFirstSegmentInactivePassThrough(t *testing.T) {
+	b := NewBrdgrd(4, 16, 2)
+	b.SetActive(false)
+	payload := make([]byte, 500)
+	if got := b.FirstSegment(payload); len(got) != 500 {
+		t.Errorf("inactive guard clamped to %d", len(got))
+	}
+	b.SetActive(true)
+	if got := b.FirstSegment(payload); len(got) == 500 {
+		t.Error("re-activated guard did not clamp")
+	}
+}
+
+func TestFirstSegmentShortPayload(t *testing.T) {
+	b := NewBrdgrd(40, 64, 3)
+	payload := []byte("tiny")
+	if got := b.FirstSegment(payload); !bytes.Equal(got, payload) {
+		t.Error("payload shorter than window was modified")
+	}
+	if got := b.FirstSegment(nil); got != nil {
+		t.Error("nil payload mishandled")
+	}
+}
+
+func TestWindowBoundsDegenerate(t *testing.T) {
+	b := NewBrdgrd(0, -5, 4) // silly inputs normalize to [1,1]
+	seg := b.FirstSegment(make([]byte, 10))
+	if len(seg) != 1 {
+		t.Errorf("degenerate window produced segment of %d", len(seg))
+	}
+}
+
+// TestConnShaperSplitsFirstWrite verifies the real-TCP shaper: the first
+// Write arrives as multiple small segments, later writes pass through.
+func TestConnShaperSplitsFirstWrite(t *testing.T) {
+	b := NewBrdgrd(8, 8, 5)
+	a, z := net.Pipe()
+	defer z.Close()
+	shaped := b.ConnShaper()(a)
+
+	var segments [][]byte
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := make([]byte, 1024)
+		for {
+			n, err := z.Read(buf)
+			if n > 0 {
+				segments = append(segments, append([]byte(nil), buf[:n]...))
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+
+	first := make([]byte, 50)
+	if _, err := shaped.Write(first); err != nil {
+		t.Fatal(err)
+	}
+	second := make([]byte, 100)
+	if _, err := shaped.Write(second); err != nil {
+		t.Fatal(err)
+	}
+	shaped.Close()
+	<-done
+
+	if len(segments) < 7 { // 50/8 → 7 segments, then the second write
+		t.Fatalf("first write produced %d segments, want >= 7", len(segments))
+	}
+	for i := 0; i < 6; i++ {
+		if len(segments[i]) != 8 {
+			t.Errorf("segment %d length %d, want 8", i, len(segments[i]))
+		}
+	}
+	total := 0
+	for _, s := range segments {
+		total += len(s)
+	}
+	if total != 150 {
+		t.Errorf("total bytes %d, want 150", total)
+	}
+}
+
+func TestConsistentReactionsChecklist(t *testing.T) {
+	if len(ConsistentReactions) != 4 {
+		t.Error("the §7.2 checklist should have four recommendations")
+	}
+}
+
+func TestIPBanlist(t *testing.T) {
+	b := NewIPBanlist()
+	if b.Check("1.1.1.1") {
+		t.Error("first contact dropped")
+	}
+	if !b.Check("1.1.1.1") {
+		t.Error("second contact not dropped")
+	}
+	if b.Check("2.2.2.2") {
+		t.Error("fresh IP dropped")
+	}
+	if b.Size() != 2 || b.Banned != 2 || b.Dropped != 1 || b.Passed != 2 {
+		t.Errorf("stats: %+v", b)
+	}
+}
+
+func TestTLSFramingDetection(t *testing.T) {
+	f := TLSRecordFraming{}
+	payload := make([]byte, 300)
+	framed := f.FrameFirstPacket(payload)
+	if !IsTLSFramed(framed) {
+		t.Error("framed packet not recognized")
+	}
+	if IsTLSFramed(payload) {
+		t.Error("random payload recognized as TLS")
+	}
+	if IsTLSFramed(framed[:4]) {
+		t.Error("short packet recognized")
+	}
+	bad := append([]byte(nil), framed...)
+	bad[3] ^= 0x01 // wrong length field
+	if IsTLSFramed(bad) {
+		t.Error("length-inconsistent record recognized")
+	}
+}

@@ -1,0 +1,48 @@
+package defense
+
+import "sync"
+
+// IPBanlist is the "simple idea to defend against active probing" §3.3
+// opens with: discover prober IP addresses and ban them. The paper argues
+// this is hard because the GFW probes from a large pool with high churn —
+// the BanExperiment in internal/experiment quantifies exactly how much
+// probing still gets through under the most aggressive possible policy
+// (ban every prober IP after its first probe).
+type IPBanlist struct {
+	mu     sync.Mutex
+	banned map[string]bool
+
+	// Stats.
+	Banned  int // distinct IPs ever banned
+	Dropped int // probes refused because the source was already banned
+	Passed  int // probes that arrived from a never-seen IP
+}
+
+// NewIPBanlist returns an empty banlist.
+func NewIPBanlist() *IPBanlist {
+	return &IPBanlist{banned: map[string]bool{}}
+}
+
+// Check records one inbound probe from ip and reports whether the ban
+// list stopped it. Policy: every prober IP is banned forever after its
+// first observed probe — an upper bound on what any real deployment could
+// achieve (real servers cannot even tell probes from clients reliably).
+func (b *IPBanlist) Check(ip string) (dropped bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.banned[ip] {
+		b.Dropped++
+		return true
+	}
+	b.banned[ip] = true
+	b.Banned++
+	b.Passed++
+	return false
+}
+
+// Size returns the number of banned addresses.
+func (b *IPBanlist) Size() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.banned)
+}

@@ -1,0 +1,150 @@
+// Package entropy provides Shannon-entropy measurement of packet payloads
+// and generation of payloads with a chosen per-byte entropy — the two
+// operations the paper's random-data experiments (§4.1, Table 4) are built
+// on. The GFW's passive detector uses the entropy of the first data packet
+// as a classification feature (Figure 9).
+package entropy
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Shannon returns the per-byte Shannon entropy of b in bits, in [0, 8].
+// An empty slice has entropy 0 by convention.
+func Shannon(b []byte) float64 {
+	if len(b) == 0 {
+		return 0
+	}
+	var counts [256]int
+	for _, c := range b {
+		counts[c]++
+	}
+	n := float64(len(b))
+	h := 0.0
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / n
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// Generator produces payloads whose empirical per-byte entropy tracks a
+// target. It works by drawing bytes from the smallest alphabet whose
+// uniform distribution has at least the target entropy, then flattening
+// the empirical distribution over that alphabet (for short payloads the
+// empirical entropy of uniform sampling is biased low, so we assign byte
+// values round-robin before shuffling).
+type Generator struct {
+	rng *rand.Rand
+}
+
+// NewGenerator returns a Generator seeded deterministically.
+func NewGenerator(seed int64) *Generator {
+	return &Generator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Payload returns n bytes whose Shannon entropy is close to target bits
+// per byte (clamped to [0, 8] and to what length n can express: a payload
+// of n bytes has entropy at most log2(n)).
+func (g *Generator) Payload(n int, target float64) []byte {
+	if n <= 0 {
+		return nil
+	}
+	if target < 0 {
+		target = 0
+	}
+	if target > 8 {
+		target = 8
+	}
+	if maxH := math.Log2(float64(n)); target > maxH {
+		target = maxH
+	}
+	// A uniform alphabet of k symbols has entropy log2(k). To hit
+	// fractional targets, use k = floor(2^target) equally common symbols
+	// plus one rarer symbol whose count c we binary-search: empirical
+	// entropy grows monotonically in c from log2(k) towards log2(k+1).
+	k := int(math.Pow(2, target))
+	if k < 1 {
+		k = 1
+	}
+	if k > 255 {
+		k = 255 // leave room for the partial symbol
+	}
+	counts := bestCounts(n, k, target)
+
+	// Map counts onto k+1 distinct random byte values and shuffle.
+	alphabet := g.rng.Perm(256)[:len(counts)]
+	sort.Ints(alphabet)
+	out := make([]byte, 0, n)
+	for i, c := range counts {
+		for j := 0; j < c; j++ {
+			out = append(out, byte(alphabet[i]))
+		}
+	}
+	g.rng.Shuffle(n, func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// bestCounts returns per-symbol counts over k+1 symbols summing to n whose
+// empirical entropy is as close to target as integer quantization allows.
+func bestCounts(n, k int, target float64) []int {
+	build := func(c int) []int {
+		counts := make([]int, k+1)
+		rest := n - c
+		for i := 0; i < k; i++ {
+			counts[i] = rest / k
+			if i < rest%k {
+				counts[i]++
+			}
+		}
+		counts[k] = c
+		return counts
+	}
+	lo, hi := 0, n/(k+1) // at hi the distribution is uniform over k+1
+	bestC, bestErr := 0, math.Inf(1)
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		h := entropyOfCounts(build(mid), n)
+		if e := math.Abs(h - target); e < bestErr {
+			bestC, bestErr = mid, e
+		}
+		if h < target {
+			lo = mid + 1
+		} else {
+			hi = mid - 1
+		}
+	}
+	return build(bestC)
+}
+
+func entropyOfCounts(counts []int, n int) float64 {
+	h := 0.0
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / float64(n)
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// Random returns n uniformly random bytes (entropy ≈ 8 for large n) — the
+// shape of Shadowsocks ciphertext and of the GFW's non-replay probes.
+func (g *Generator) Random(n int) []byte {
+	out := make([]byte, n)
+	g.rng.Read(out)
+	return out
+}
+
+// Intn exposes the generator's PRNG for callers that need correlated
+// randomness (e.g. choosing a payload length and then its contents).
+func (g *Generator) Intn(n int) int { return g.rng.Intn(n) }
+
+// Float64 returns a uniform float in [0, 1).
+func (g *Generator) Float64() float64 { return g.rng.Float64() }

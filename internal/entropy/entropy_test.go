@@ -1,0 +1,142 @@
+package entropy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestShannonKnownValues(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		in   []byte
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single byte", []byte{0x42}, 0},
+		{"constant run", make([]byte, 1000), 0},
+		{"two symbols equal", []byte{0, 1, 0, 1, 0, 1, 0, 1}, 1},
+		{"four symbols equal", []byte{0, 1, 2, 3, 0, 1, 2, 3}, 2},
+	} {
+		if got := Shannon(tc.in); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("%s: Shannon = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestShannonAll256(t *testing.T) {
+	b := make([]byte, 256)
+	for i := range b {
+		b[i] = byte(i)
+	}
+	if got := Shannon(b); math.Abs(got-8) > 1e-12 {
+		t.Errorf("Shannon over all 256 values = %v, want 8", got)
+	}
+}
+
+// TestShannonBounds property-tests 0 <= H <= 8 and H <= log2(len).
+func TestShannonBounds(t *testing.T) {
+	f := func(b []byte) bool {
+		h := Shannon(b)
+		if h < 0 || h > 8 {
+			return false
+		}
+		if len(b) > 0 && h > math.Log2(float64(len(b)))+1e-9 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGeneratorHitsTargets verifies generated payloads land near the
+// requested entropy across the whole [0,8] range used by Exp 3 (Table 4).
+func TestGeneratorHitsTargets(t *testing.T) {
+	g := NewGenerator(1)
+	for _, target := range []float64{0, 0.5, 1, 2, 3, 4, 5, 6, 7, 7.5, 8} {
+		p := g.Payload(1000, target)
+		got := Shannon(p)
+		// Tolerance: alphabet quantization limits precision at the top end.
+		tol := 0.35
+		if math.Abs(got-target) > tol {
+			t.Errorf("target %.2f: got entropy %.3f (payload len %d)", target, got, len(p))
+		}
+	}
+}
+
+// TestGeneratorLowEntropy covers Exp 2's requirement: entropy < 2.
+func TestGeneratorLowEntropy(t *testing.T) {
+	g := NewGenerator(2)
+	for i := 0; i < 50; i++ {
+		n := 1 + g.Intn(1000)
+		p := g.Payload(n, 1.0)
+		if h := Shannon(p); h >= 2 {
+			t.Errorf("len %d: entropy %.3f, want < 2", n, h)
+		}
+	}
+}
+
+// TestGeneratorHighEntropy covers Exp 1's requirement: entropy > 7 for
+// payloads long enough to express it.
+func TestGeneratorHighEntropy(t *testing.T) {
+	g := NewGenerator(3)
+	for i := 0; i < 50; i++ {
+		n := 300 + g.Intn(700)
+		p := g.Payload(n, 8)
+		if h := Shannon(p); h <= 7 {
+			t.Errorf("len %d: entropy %.3f, want > 7", n, h)
+		}
+	}
+}
+
+func TestGeneratorShortPayloads(t *testing.T) {
+	g := NewGenerator(4)
+	if p := g.Payload(0, 5); p != nil {
+		t.Error("zero-length payload should be nil")
+	}
+	if p := g.Payload(1, 8); len(p) != 1 {
+		t.Error("single-byte payload wrong length")
+	}
+	// A 2-byte payload can express at most 1 bit/byte.
+	p := g.Payload(2, 8)
+	if h := Shannon(p); h > 1+1e-9 {
+		t.Errorf("2-byte payload entropy %v > 1", h)
+	}
+}
+
+func TestGeneratorClamping(t *testing.T) {
+	g := NewGenerator(5)
+	if h := Shannon(g.Payload(500, -3)); h != 0 {
+		t.Errorf("negative target gave entropy %v, want 0", h)
+	}
+	if h := Shannon(g.Payload(500, 100)); h < 7 {
+		t.Errorf("over-8 target gave entropy %v, want near 8", h)
+	}
+}
+
+// TestRandomIsHighEntropy sanity-checks the uniform generator.
+func TestRandomIsHighEntropy(t *testing.T) {
+	g := NewGenerator(6)
+	if h := Shannon(g.Random(4096)); h < 7.8 {
+		t.Errorf("uniform random entropy %v, want >= 7.8", h)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := NewGenerator(42).Payload(256, 6)
+	b := NewGenerator(42).Payload(256, 6)
+	if string(a) != string(b) {
+		t.Error("same seed produced different payloads")
+	}
+}
+
+func BenchmarkShannon(b *testing.B) {
+	g := NewGenerator(7)
+	p := g.Random(1500)
+	b.SetBytes(int64(len(p)))
+	for i := 0; i < b.N; i++ {
+		Shannon(p)
+	}
+}

@@ -1,0 +1,148 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"sslab/internal/probesim"
+	"sslab/internal/reaction"
+	"sslab/internal/sscrypto"
+)
+
+// MatrixConfig scales the §5.1 prober-simulator experiment.
+type MatrixConfig struct {
+	Seed int64
+	// Trials per probe length per configuration (default 200).
+	Trials int
+}
+
+// MatrixReport holds the Figure 10a/10b matrices and the Table 5 rows.
+type MatrixReport struct {
+	Stream []*probesim.Matrix       // Figure 10a
+	AEAD   []*probesim.Matrix       // Figure 10b
+	Replay []*probesim.ReplayResult // Table 5
+}
+
+// figure10StreamConfigs are the stream rows: both libev generations over
+// the three IV-size classes.
+func figure10StreamConfigs() []struct {
+	Profile reaction.Profile
+	Method  string
+} {
+	return []struct {
+		Profile reaction.Profile
+		Method  string
+	}{
+		{reaction.LibevOld, "chacha20"},      // 8-byte IV
+		{reaction.LibevOld, "chacha20-ietf"}, // 12-byte IV
+		{reaction.LibevOld, "aes-256-ctr"},   // 16-byte IV
+		{reaction.LibevNew, "chacha20"},
+		{reaction.LibevNew, "chacha20-ietf"},
+		{reaction.LibevNew, "aes-256-ctr"},
+	}
+}
+
+// figure10AEADConfigs are the AEAD rows: libev over the three salt-size
+// classes plus the three OutlineVPN versions.
+func figure10AEADConfigs() []struct {
+	Profile reaction.Profile
+	Method  string
+} {
+	return []struct {
+		Profile reaction.Profile
+		Method  string
+	}{
+		{reaction.LibevOld, "aes-128-gcm"}, // 16-byte salt
+		{reaction.LibevOld, "aes-192-gcm"}, // 24-byte salt
+		{reaction.LibevOld, "aes-256-gcm"}, // 32-byte salt
+		{reaction.LibevNew, "aes-128-gcm"},
+		{reaction.LibevNew, "aes-192-gcm"},
+		{reaction.LibevNew, "aes-256-gcm"},
+		{reaction.Outline106, "chacha20-ietf-poly1305"},
+		{reaction.Outline107, "chacha20-ietf-poly1305"},
+		{reaction.Outline110, "chacha20-ietf-poly1305"},
+	}
+}
+
+// table5Configs are the Table 5 rows.
+func table5Configs() []struct {
+	Profile reaction.Profile
+	Method  string
+} {
+	return []struct {
+		Profile reaction.Profile
+		Method  string
+	}{
+		{reaction.LibevOld, "aes-256-ctr"},
+		{reaction.LibevOld, "aes-256-gcm"},
+		{reaction.LibevNew, "aes-256-ctr"},
+		{reaction.LibevNew, "aes-256-gcm"},
+		{reaction.Outline107, "chacha20-ietf-poly1305"},
+		{reaction.Outline110, "chacha20-ietf-poly1305"},
+		{reaction.Hardened, "chacha20-ietf-poly1305"},
+		{reaction.SSPython, "aes-256-cfb"},
+		{reaction.SSR, "aes-256-ctr"},
+	}
+}
+
+// ReactionMatrices regenerates Figures 10a/10b and Table 5 through the
+// prober simulator.
+func ReactionMatrices(cfg MatrixConfig) (*MatrixReport, error) {
+	if cfg.Trials == 0 {
+		cfg.Trials = 200
+	}
+	lengths := probesim.RandomProbeLengths()
+	r := &MatrixReport{}
+	for i, c := range figure10StreamConfigs() {
+		spec, err := sscrypto.Lookup(c.Method)
+		if err != nil {
+			return nil, err
+		}
+		m, err := probesim.ScanRandom(c.Profile, spec, "matrix-pw", lengths, cfg.Trials, cfg.Seed+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		r.Stream = append(r.Stream, m)
+	}
+	for i, c := range figure10AEADConfigs() {
+		spec, err := sscrypto.Lookup(c.Method)
+		if err != nil {
+			return nil, err
+		}
+		m, err := probesim.ScanRandom(c.Profile, spec, "matrix-pw", lengths, cfg.Trials, cfg.Seed+100+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		r.AEAD = append(r.AEAD, m)
+	}
+	for i, c := range table5Configs() {
+		spec, err := sscrypto.Lookup(c.Method)
+		if err != nil {
+			return nil, err
+		}
+		rr, err := probesim.ScanReplay(c.Profile, spec, "matrix-pw", 60, cfg.Seed+200+int64(i), "93.184.216.34:443")
+		if err != nil {
+			return nil, err
+		}
+		r.Replay = append(r.Replay, rr)
+	}
+	return r, nil
+}
+
+// Render prints the three artifacts.
+func (r *MatrixReport) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 10a: reactions to random probes, stream ciphers\n")
+	for _, m := range r.Stream {
+		b.WriteString(m.Render())
+	}
+	b.WriteString("\nFigure 10b: reactions to random probes, AEAD ciphers\n")
+	for _, m := range r.AEAD {
+		b.WriteString(m.Render())
+	}
+	b.WriteString("\nTable 5: reactions to identical and byte-changed replays\n")
+	for _, rr := range r.Replay {
+		fmt.Fprintf(&b, "  %s\n", rr.Render())
+	}
+	return b.String()
+}

@@ -1,0 +1,413 @@
+// Package gfw is a behavioural model of the Great Firewall's Shadowsocks
+// detection pipeline as reverse-engineered by the paper: a passive
+// traffic-analysis stage keyed on the length and entropy of each
+// connection's first data packet (§4), a staged active-probing stage that
+// replays recorded payloads and sends random probes from a large pool of
+// source addresses (§3), and a blocking module that null-routes confirmed
+// servers by port or by IP (§6).
+//
+// The model plugs into internal/netsim as a Middlebox and is calibrated to
+// every quantitative observation in the paper; see internal/experiment for
+// the harnesses that regenerate each figure and table.
+package gfw
+
+import (
+	"math/rand"
+	"time"
+
+	"sslab/internal/capture"
+	"sslab/internal/defense"
+	"sslab/internal/netsim"
+	"sslab/internal/probe"
+	"sslab/internal/reaction"
+)
+
+// Config tunes the model. Zero values select paper-calibrated defaults.
+type Config struct {
+	// Seed drives all of the model's randomness.
+	Seed int64
+	// PoolSize is the number of prober source addresses (default 13000,
+	// which yields ≈12,300 distinct addresses over a four-month
+	// experiment as in §3.3).
+	PoolSize int
+	// ReplayBase scales the passive detector's recording rate
+	// (default 0.04, calibrated to Exp 1.a's replay-to-trigger ratio).
+	ReplayBase float64
+	// BlockThreshold is the fingerprint-evidence score at which a server
+	// becomes a blocking candidate (default 10). Blocking additionally
+	// requires the server to have served at least MinDataResponses
+	// replayed payloads — see maybeBlock.
+	BlockThreshold float64
+	// MinDataResponses is how many replay probes the server must answer
+	// with data before it can be blocked (default 2).
+	MinDataResponses int
+	// Sensitivity is the probability a blocking candidate actually gets
+	// blocked — the "human factor" of §6 (default 0: probing without
+	// blocking, as the paper observed for most servers; raise it to
+	// simulate politically sensitive periods).
+	Sensitivity float64
+	// NR1MinFlows is how many observed flows a server needs before the
+	// detector judges (once, latched) whether its traffic looks like
+	// Shadowsocks and qualifies for NR1 probing (default 300). See
+	// DESIGN.md.
+	NR1MinFlows int
+	// DisableLengthFeature / DisableEntropyFeature are ablation switches
+	// for the two detector features.
+	DisableLengthFeature  bool
+	DisableEntropyFeature bool
+	// TLSWhitelist models a censor that exempts TLS-framed flows from the
+	// detector to avoid mass-probing the web — the conjecture the FPStudy
+	// motivates and the mechanism application-fronting tools (§8) rely on.
+	TLSWhitelist bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.PoolSize == 0 {
+		c.PoolSize = 13000
+	}
+	if c.ReplayBase == 0 {
+		c.ReplayBase = 0.04
+	}
+	if c.BlockThreshold == 0 {
+		c.BlockThreshold = 10
+	}
+	if c.NR1MinFlows == 0 {
+		c.NR1MinFlows = 300
+	}
+	if c.MinDataResponses == 0 {
+		c.MinDataResponses = 2
+	}
+	return c
+}
+
+// BlockEvent records one blocking decision.
+type BlockEvent struct {
+	Time   time.Time
+	Server netsim.Endpoint
+	ByIP   bool // true: all ports of the IP; false: single port
+	Until  time.Time
+}
+
+// GFW is the censor model. Create with New, then attach to a network with
+// netsim.Network.AddMiddlebox.
+type GFW struct {
+	cfg  Config
+	sim  *netsim.Sim
+	net  *netsim.Network
+	rng  *rand.Rand
+	det  detector
+	Pool *Pool
+
+	// Log records every probe sent, with packet-level fingerprints.
+	Log *capture.Log
+
+	servers map[netsim.Endpoint]*serverState
+
+	// Counters for experiment reports.
+	Triggers         int // non-probe flows observed
+	PayloadsRecorded int // first payloads recorded for replay
+	ProbesSent       int
+	BlockEvents      []BlockEvent
+}
+
+// serverState is the per-suspect staged probing state (§4.2: "the active
+// probing system operates in stages").
+type serverState struct {
+	stage         int // 1: R1/R2/NR2; 2: adds R3/R4 (+rare R5/R6)
+	lenTotal      int // flows observed
+	lenInRange    int // flows whose first packet was 160-700 bytes
+	ssLikeLatch   *bool
+	dataResponses int // probes the server answered with data
+	fpScore       float64
+	blocked       bool
+	recordedPays  [][]byte // payloads recorded from this server's flows
+}
+
+// ssLike reports whether the server's traffic looks like Shadowsocks:
+// first-packet lengths concentrated where real Shadowsocks handshakes
+// land (at least ~60% in 160–700 bytes, versus ~54% for uniform random
+// lengths in 1–1000 and ~27% in 1–2000). The judgment is made once, after
+// minFlows observations, and latched. This is the discriminator that
+// explains why NR1 probes appeared in the Shadowsocks experiments but
+// never in the uniform-random-length experiments of §4 (see DESIGN.md).
+func (s *serverState) ssLike(minFlows int) bool {
+	if s.ssLikeLatch != nil {
+		return *s.ssLikeLatch
+	}
+	if s.lenTotal < minFlows {
+		return false
+	}
+	v := float64(s.lenInRange) >= 0.63*float64(s.lenTotal)
+	s.ssLikeLatch = &v
+	return v
+}
+
+// New creates a GFW attached to sim and net. The caller must also register
+// it: net.AddMiddlebox(g).
+func New(sim *netsim.Sim, net *netsim.Network, cfg Config) *GFW {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	return &GFW{
+		cfg:     cfg,
+		sim:     sim,
+		net:     net,
+		rng:     rng,
+		det:     detector{base: cfg.ReplayBase, ignoreLength: cfg.DisableLengthFeature, ignoreEntropy: cfg.DisableEntropyFeature},
+		Pool:    NewPool(rand.New(rand.NewSource(cfg.Seed+1)), cfg.PoolSize, sim.Now()),
+		Log:     capture.NewLog(sim.Now()),
+		servers: map[netsim.Endpoint]*serverState{},
+	}
+}
+
+func (g *GFW) state(server netsim.Endpoint) *serverState {
+	s, ok := g.servers[server]
+	if !ok {
+		s = &serverState{stage: 1}
+		g.servers[server] = s
+	}
+	return s
+}
+
+// Stage returns the probing stage for a server (0 if never suspected).
+func (g *GFW) Stage(server netsim.Endpoint) int {
+	if s, ok := g.servers[server]; ok {
+		return s.stage
+	}
+	return 0
+}
+
+// RecordedPayloads returns copies of the payloads recorded from flows to
+// the given server (the ground truth for replay classification).
+func (g *GFW) RecordedPayloads(server netsim.Endpoint) [][]byte {
+	s, ok := g.servers[server]
+	if !ok {
+		return nil
+	}
+	return s.recordedPays
+}
+
+// OnFlow implements netsim.Middlebox: passive analysis of a crossing flow.
+func (g *GFW) OnFlow(f *netsim.Flow) {
+	if f.Probe {
+		return // the censor does not re-analyze its own probes
+	}
+	g.Triggers++
+	s := g.state(f.Server)
+
+	// Track the first-packet length profile for NR1 qualification.
+	s.lenTotal++
+	if n := len(f.FirstPayload); n >= 160 && n <= 700 {
+		s.lenInRange++
+	}
+
+	if len(f.FirstPayload) == 0 {
+		return
+	}
+	if g.cfg.TLSWhitelist && defense.IsTLSFramed(f.FirstPayload) {
+		return
+	}
+	if g.rng.Float64() >= g.det.recordProbability(f.FirstPayload) {
+		return
+	}
+
+	// Record the payload and schedule a batch of probes derived from it.
+	g.PayloadsRecorded++
+	rec := recording{
+		payload: append([]byte(nil), f.FirstPayload...),
+		at:      g.sim.Now(),
+	}
+	s.recordedPays = append(s.recordedPays, rec.payload)
+
+	n := sampleRepeatCount(g.rng)
+	for i := 0; i < n; i++ {
+		delay := sampleDelay(g.rng)
+		server := f.Server
+		g.sim.After(delay, func() { g.sendProbe(server, &rec) })
+	}
+}
+
+// OnOutcome implements netsim.Middlebox. Outcomes of the GFW's own probes
+// drive the staged state machine and the blocking score; outcomes of
+// legitimate flows are not used (the passive stage already saw the flow).
+func (g *GFW) OnOutcome(f *netsim.Flow, o netsim.Outcome) {}
+
+// recording is one captured first payload.
+type recording struct {
+	payload []byte
+	at      time.Time
+}
+
+// chooseType picks a probe type for the server's current stage. The
+// weights reproduce the observed type mix: in stage 1 only identical
+// replays, byte-0-changed replays and 221-byte random probes appear; once
+// the server has answered a replay with data, the targeted R3/R4 probes
+// dominate additions, with R5 vanishingly rare (two were ever observed)
+// and R6 appearing only after the sink→responding switch (Exp 1.b).
+// Servers whose traffic profile looks like genuine Shadowsocks usage also
+// receive NR1 probes, at one third the NR2 rate (Figure 2's 3:1 ratio).
+func (g *GFW) chooseType(stage int, ssLike bool) probe.Type {
+	x := g.rng.Float64()
+	if stage < 2 {
+		if ssLike {
+			switch {
+			case x < 0.52:
+				return probe.R1
+			case x < 0.76:
+				return probe.R2
+			case x < 0.94:
+				return probe.NR2
+			default:
+				return probe.NR1
+			}
+		}
+		switch {
+		case x < 0.55:
+			return probe.R1
+		case x < 0.80:
+			return probe.R2
+		default:
+			return probe.NR2
+		}
+	}
+	if ssLike {
+		switch {
+		case x < 0.26:
+			return probe.R1
+		case x < 0.39:
+			return probe.R2
+		case x < 0.60:
+			return probe.R3
+		case x < 0.81:
+			return probe.R4
+		case x < 0.8105:
+			return probe.R5
+		case x < 0.8285:
+			return probe.R6
+		case x < 0.955:
+			return probe.NR2
+		default:
+			return probe.NR1
+		}
+	}
+	switch {
+	case x < 0.28:
+		return probe.R1
+	case x < 0.42:
+		return probe.R2
+	case x < 0.64:
+		return probe.R3
+	case x < 0.86:
+		return probe.R4
+	case x < 0.8605:
+		return probe.R5
+	case x < 0.8785:
+		return probe.R6
+	default:
+		return probe.NR2
+	}
+}
+
+// sendProbe emits one probe derived from rec toward server.
+func (g *GFW) sendProbe(server netsim.Endpoint, rec *recording) {
+	s := g.state(server)
+	typ := g.chooseType(s.stage, s.ssLike(g.cfg.NR1MinFlows))
+	var replayOf time.Time
+	payload := probe.Build(typ, rec.payload, g.rng)
+	if typ.Replay() {
+		replayOf = rec.at
+	}
+	g.emit(server, s, typ, payload, replayOf)
+
+	// §5.3: around 10% of NR2 probes are sent to the same server more
+	// than once — a replay-filter detection trick.
+	if typ == probe.NR2 && g.rng.Float64() < 0.10 {
+		dup := append([]byte(nil), payload...)
+		g.sim.After(sampleDelay(g.rng), func() {
+			st := g.state(server)
+			g.emit(server, st, probe.NR2, dup, time.Time{})
+		})
+	}
+}
+
+// emit performs the network send and bookkeeping for one probe.
+func (g *GFW) emit(server netsim.Endpoint, s *serverState, typ probe.Type, payload []byte, replayOf time.Time) {
+	src := g.Pool.Source(g.sim.Now())
+	genAt := replayOf
+	outcome := g.net.Connect(src.Endpoint(), server, payload, true, genAt)
+	g.ProbesSent++
+	g.Log.Add(capture.Record{
+		Time:    g.sim.Now(),
+		SrcIP:   src.IP,
+		SrcPort: src.Port,
+		DstIP:   server.IP,
+		DstPort: server.Port,
+		ASN:     src.ASN,
+		TTL:     src.TTL,
+		IPID:    src.IPID,
+		TSval:   src.TSval,
+		Payload: payload,
+		Type:    typ,
+		ReplayOf: func() time.Time {
+			if typ.Replay() {
+				return replayOf
+			}
+			return time.Time{}
+		}(),
+	})
+	if outcome.Blocked {
+		return
+	}
+
+	// Staged escalation: a data response to an R1/R2 replay proves the
+	// server proxies replayed payloads; move to stage 2 (R3/R4/R5).
+	if (typ == probe.R1 || typ == probe.R2) && outcome.Reaction == reaction.Data {
+		s.stage = 2
+	}
+
+	// Blocking evidence comes in two kinds (§5.2.2, §6): data responses
+	// to replays (near-proof of an unprotected proxy) and the immediate-
+	// close fingerprints that the statistical analysis of random probes
+	// accumulates. A server that only ever times out — OutlineVPN
+	// v1.0.7's deliberate design — yields no fingerprint evidence.
+	switch outcome.Reaction {
+	case reaction.Data:
+		s.dataResponses++
+	case reaction.RST:
+		s.fpScore += 0.5
+	case reaction.FINACK:
+		s.fpScore += 0.5
+	}
+	g.maybeBlock(server, s)
+}
+
+// maybeBlock applies the §6 blocking policy: both evidence kinds must be
+// present, plus a "human factor" — most confirmed servers were still not
+// blocked outside politically sensitive periods. This gate reproduces the
+// paper's observation that the three blocked servers all ran
+// ShadowsocksR or Shadowsocks-python (which serve replays AND show
+// immediate-close fingerprints), while the replay-defended libev and the
+// timeout-consistent OutlineVPN v1.0.7 survived months of probing.
+func (g *GFW) maybeBlock(server netsim.Endpoint, s *serverState) {
+	if s.blocked || s.dataResponses < g.cfg.MinDataResponses || s.fpScore < g.cfg.BlockThreshold {
+		return
+	}
+	if g.rng.Float64() >= g.cfg.Sensitivity {
+		return
+	}
+	s.blocked = true
+	byIP := g.rng.Float64() < 0.5
+	if byIP {
+		g.net.BlockIP(server.IP)
+	} else {
+		g.net.BlockPort(server)
+	}
+	// Unblocking happens without recheck probes, a week or more later
+	// (§6: one server became unblocked more than a week after blocking,
+	// with no probes observed in between).
+	until := g.sim.Now().Add(7*24*time.Hour + time.Duration(g.rng.Intn(7*24))*time.Hour)
+	g.BlockEvents = append(g.BlockEvents, BlockEvent{Time: g.sim.Now(), Server: server, ByIP: byIP, Until: until})
+	g.sim.At(until, func() {
+		g.net.Unblock(server)
+		s.blocked = false
+	})
+}

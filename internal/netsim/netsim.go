@@ -1,0 +1,257 @@
+// Package netsim is a deterministic discrete-event network simulator at
+// flow granularity. It provides the substrate on which the paper's
+// measurement experiments are re-run: hosts exchange connections carrying
+// a first data payload, middleboxes on the path (the GFW) observe flows
+// and their outcomes, and directional null-routing implements the blocking
+// behaviour of §6 (dropping only the server-to-client direction).
+//
+// A virtual clock makes four-month experiments run in milliseconds and
+// bit-for-bit reproducibly: all randomness is seeded and all event
+// ordering is total (time, then insertion sequence).
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+
+	"sslab/internal/reaction"
+)
+
+// Epoch is the simulation start time — the first day of the paper's
+// Shadowsocks experiment.
+var Epoch = time.Date(2019, 9, 29, 0, 0, 0, 0, time.UTC)
+
+// event is one scheduled callback.
+type event struct {
+	at  time.Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) Peek() *event  { return h[0] }
+
+// Sim is the discrete-event scheduler with a virtual clock.
+type Sim struct {
+	now time.Time
+	pq  eventHeap
+	seq uint64
+}
+
+// NewSim returns a simulator starting at Epoch.
+func NewSim() *Sim { return &Sim{now: Epoch} }
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Time { return s.now }
+
+// At schedules fn at absolute time t (clamped to now if in the past).
+func (s *Sim) At(t time.Time, fn func()) {
+	if t.Before(s.now) {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.pq, &event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn d from now.
+func (s *Sim) After(d time.Duration, fn func()) { s.At(s.now.Add(d), fn) }
+
+// Run processes events until the queue is empty.
+func (s *Sim) Run() {
+	for len(s.pq) > 0 {
+		e := heap.Pop(&s.pq).(*event)
+		s.now = e.at
+		e.fn()
+	}
+}
+
+// RunUntil processes events with at <= t, then advances the clock to t.
+func (s *Sim) RunUntil(t time.Time) {
+	for len(s.pq) > 0 && !s.pq.Peek().at.After(t) {
+		e := heap.Pop(&s.pq).(*event)
+		s.now = e.at
+		e.fn()
+	}
+	if s.now.Before(t) {
+		s.now = t
+	}
+}
+
+// Pending returns the number of queued events.
+func (s *Sim) Pending() int { return len(s.pq) }
+
+// Endpoint is an IP:port pair in the simulated network.
+type Endpoint struct {
+	IP   string
+	Port int
+}
+
+func (e Endpoint) String() string { return fmt.Sprintf("%s:%d", e.IP, e.Port) }
+
+// Flow is one TCP connection, reduced to what the GFW's detector sees:
+// endpoints, direction, and the first data-carrying packet from the client.
+type Flow struct {
+	ID     uint64
+	Client Endpoint
+	Server Endpoint
+	// FirstPayload is the client's first data packet (after TCP handshake).
+	FirstPayload []byte
+	// Start is when the flow's first payload crossed the wire.
+	Start time.Time
+	// Probe marks flows originated by the censor's probers (middleboxes
+	// do not re-analyze their own probes).
+	Probe bool
+	// GeneratedAt is when the payload content was created (for replays of
+	// recorded content this is the recording time, used by timestamp-
+	// based replay defenses).
+	GeneratedAt time.Time
+}
+
+// Outcome is the server's observable response to a flow.
+type Outcome struct {
+	Reaction reaction.Reaction
+	// ResponseLen is the number of bytes the server sent back (Reaction ==
+	// Data).
+	ResponseLen int
+	// Blocked means the flow never completed because a null-routing rule
+	// dropped the server-to-client direction.
+	Blocked bool
+}
+
+// Host handles inbound flows.
+type Host interface {
+	HandleFlow(f *Flow) Outcome
+}
+
+// HostFunc adapts a function to the Host interface.
+type HostFunc func(f *Flow) Outcome
+
+// HandleFlow implements Host.
+func (fn HostFunc) HandleFlow(f *Flow) Outcome { return fn(f) }
+
+// Middlebox observes flows crossing the border — the GFW's position.
+type Middlebox interface {
+	// OnFlow sees every border-crossing flow with its first payload.
+	OnFlow(f *Flow)
+	// OnOutcome sees the server's reaction on the return path (unless the
+	// return path is blocked).
+	OnOutcome(f *Flow, o Outcome)
+}
+
+// Network ties hosts, middleboxes and blocking rules together.
+type Network struct {
+	Sim *Sim
+
+	hosts  map[Endpoint]Host
+	boxes  []Middlebox
+	nextID uint64
+
+	// blockedIP drops the server->client direction for all ports of an
+	// IP; blockedPort for one endpoint only (§6: "block by port, or by IP
+	// address?").
+	blockedIP   map[string]bool
+	blockedPort map[Endpoint]bool
+
+	// Flows counts all attempted flows (including blocked ones).
+	Flows int
+}
+
+// NewNetwork creates an empty network on sim.
+func NewNetwork(sim *Sim) *Network {
+	return &Network{
+		Sim:         sim,
+		hosts:       map[Endpoint]Host{},
+		blockedIP:   map[string]bool{},
+		blockedPort: map[Endpoint]bool{},
+	}
+}
+
+// AddHost binds a host to an endpoint.
+func (n *Network) AddHost(ep Endpoint, h Host) { n.hosts[ep] = h }
+
+// AddMiddlebox appends a middlebox to the border path.
+func (n *Network) AddMiddlebox(m Middlebox) { n.boxes = append(n.boxes, m) }
+
+// BlockIP null-routes the server->client direction for every port of ip.
+func (n *Network) BlockIP(ip string) { n.blockedIP[ip] = true }
+
+// BlockPort null-routes the server->client direction for one endpoint.
+func (n *Network) BlockPort(ep Endpoint) { n.blockedPort[ep] = true }
+
+// Unblock removes both kinds of rules for the endpoint.
+func (n *Network) Unblock(ep Endpoint) {
+	delete(n.blockedIP, ep.IP)
+	delete(n.blockedPort, ep)
+}
+
+// IsBlocked reports whether the endpoint's return direction is dropped.
+func (n *Network) IsBlocked(ep Endpoint) bool {
+	return n.blockedIP[ep.IP] || n.blockedPort[ep]
+}
+
+// Connect performs one flow: client connects to server and sends
+// firstPayload as its first data packet. Middleboxes observe the flow and
+// its outcome. The call is synchronous in virtual time.
+//
+// generatedAt records when the payload content was originally created;
+// pass the zero time for "now" (fresh content).
+func (n *Network) Connect(client, server Endpoint, firstPayload []byte, probe bool, generatedAt time.Time) Outcome {
+	n.Flows++
+	n.nextID++
+	if generatedAt.IsZero() {
+		generatedAt = n.Sim.Now()
+	}
+	f := &Flow{
+		ID:           n.nextID,
+		Client:       client,
+		Server:       server,
+		FirstPayload: firstPayload,
+		Start:        n.Sim.Now(),
+		Probe:        probe,
+		GeneratedAt:  generatedAt,
+	}
+	// Null routing drops only the server->client direction (§6): the
+	// client's SYN still reaches the server, which may even accept and
+	// respond, but nothing comes back. From the client's (and a probing
+	// censor's) point of view the connection never completes, and because
+	// the handshake fails the client never sends its payload — so the
+	// middleboxes see nothing and the host sees a flow with no data.
+	if n.IsBlocked(server) {
+		if h, ok := n.hosts[server]; ok {
+			silenced := *f
+			silenced.FirstPayload = nil
+			h.HandleFlow(&silenced)
+		}
+		return Outcome{Blocked: true}
+	}
+	for _, b := range n.boxes {
+		b.OnFlow(f)
+	}
+	h, ok := n.hosts[server]
+	if !ok {
+		// Connection refused by the network: no host. The censor can
+		// observe this too.
+		o := Outcome{Reaction: reaction.RST}
+		for _, b := range n.boxes {
+			b.OnOutcome(f, o)
+		}
+		return o
+	}
+	o := h.HandleFlow(f)
+	for _, b := range n.boxes {
+		b.OnOutcome(f, o)
+	}
+	return o
+}

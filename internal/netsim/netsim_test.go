@@ -1,0 +1,166 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"sslab/internal/reaction"
+)
+
+func TestSimOrdering(t *testing.T) {
+	s := NewSim()
+	var order []int
+	s.After(2*time.Second, func() { order = append(order, 2) })
+	s.After(1*time.Second, func() { order = append(order, 1) })
+	s.After(1*time.Second, func() { order = append(order, 11) }) // same time: FIFO
+	s.After(3*time.Second, func() { order = append(order, 3) })
+	s.Run()
+	want := []int{1, 11, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if s.Now() != Epoch.Add(3*time.Second) {
+		t.Errorf("clock = %v", s.Now())
+	}
+}
+
+func TestSimNestedScheduling(t *testing.T) {
+	s := NewSim()
+	fired := 0
+	s.After(time.Second, func() {
+		s.After(time.Second, func() { fired++ })
+	})
+	s.Run()
+	if fired != 1 {
+		t.Error("nested event did not fire")
+	}
+	if s.Now() != Epoch.Add(2*time.Second) {
+		t.Errorf("clock = %v", s.Now())
+	}
+}
+
+func TestSimRunUntil(t *testing.T) {
+	s := NewSim()
+	fired := []int{}
+	s.After(time.Hour, func() { fired = append(fired, 1) })
+	s.After(3*time.Hour, func() { fired = append(fired, 2) })
+	s.RunUntil(Epoch.Add(2 * time.Hour))
+	if len(fired) != 1 {
+		t.Fatalf("fired = %v", fired)
+	}
+	if s.Now() != Epoch.Add(2*time.Hour) {
+		t.Errorf("clock = %v", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Errorf("pending = %d", s.Pending())
+	}
+	s.Run()
+	if len(fired) != 2 {
+		t.Error("remaining event lost")
+	}
+}
+
+func TestSimPastEventClamped(t *testing.T) {
+	s := NewSim()
+	fired := false
+	s.At(Epoch.Add(-time.Hour), func() { fired = true })
+	s.Run()
+	if !fired {
+		t.Error("past-scheduled event dropped")
+	}
+	if s.Now() != Epoch {
+		t.Errorf("clock moved backwards: %v", s.Now())
+	}
+}
+
+type recordingBox struct {
+	flows    []*Flow
+	outcomes []Outcome
+}
+
+func (b *recordingBox) OnFlow(f *Flow)               { b.flows = append(b.flows, f) }
+func (b *recordingBox) OnOutcome(f *Flow, o Outcome) { b.outcomes = append(b.outcomes, o) }
+
+func TestNetworkDelivery(t *testing.T) {
+	s := NewSim()
+	n := NewNetwork(s)
+	server := Endpoint{IP: "10.0.0.1", Port: 8388}
+	client := Endpoint{IP: "192.168.1.2", Port: 40000}
+
+	var seen []byte
+	n.AddHost(server, HostFunc(func(f *Flow) Outcome {
+		seen = f.FirstPayload
+		return Outcome{Reaction: reaction.Data, ResponseLen: 100}
+	}))
+	box := &recordingBox{}
+	n.AddMiddlebox(box)
+
+	o := n.Connect(client, server, []byte("hello"), false, time.Time{})
+	if o.Reaction != reaction.Data || o.ResponseLen != 100 {
+		t.Errorf("outcome = %+v", o)
+	}
+	if string(seen) != "hello" {
+		t.Error("host did not receive payload")
+	}
+	if len(box.flows) != 1 || len(box.outcomes) != 1 {
+		t.Error("middlebox missed the flow")
+	}
+	if box.flows[0].GeneratedAt != s.Now() {
+		t.Error("zero GeneratedAt not defaulted to now")
+	}
+}
+
+func TestNetworkNoHost(t *testing.T) {
+	s := NewSim()
+	n := NewNetwork(s)
+	o := n.Connect(Endpoint{IP: "a", Port: 1}, Endpoint{IP: "b", Port: 2}, nil, false, time.Time{})
+	if o.Reaction != reaction.RST {
+		t.Errorf("connecting to nothing = %v, want RST", o.Reaction)
+	}
+}
+
+func TestBlocking(t *testing.T) {
+	s := NewSim()
+	n := NewNetwork(s)
+	srv1 := Endpoint{IP: "10.0.0.1", Port: 8388}
+	srv2 := Endpoint{IP: "10.0.0.1", Port: 9999}
+	client := Endpoint{IP: "1.2.3.4", Port: 1000}
+	handled := 0
+	h := HostFunc(func(f *Flow) Outcome { handled++; return Outcome{Reaction: reaction.Data} })
+	n.AddHost(srv1, h)
+	n.AddHost(srv2, h)
+	box := &recordingBox{}
+	n.AddMiddlebox(box)
+
+	// Block by port: only srv1 affected. The SYN still reaches the host
+	// (only the return path is dropped, §6), but carries no payload.
+	n.BlockPort(srv1)
+	if o := n.Connect(client, srv1, []byte("x"), false, time.Time{}); !o.Blocked {
+		t.Error("port-blocked flow not blocked")
+	}
+	if o := n.Connect(client, srv2, []byte("x"), false, time.Time{}); o.Blocked {
+		t.Error("sibling port wrongly blocked")
+	}
+	if handled != 2 {
+		t.Errorf("handled = %d (blocked flows still reach the server)", handled)
+	}
+	if len(box.flows) != 1 {
+		t.Error("middlebox saw a blocked flow's payload")
+	}
+
+	// Block by IP: both endpoints affected.
+	n.Unblock(srv1)
+	n.BlockIP("10.0.0.1")
+	if o := n.Connect(client, srv2, []byte("x"), false, time.Time{}); !o.Blocked {
+		t.Error("IP-blocked flow not blocked")
+	}
+	n.Unblock(srv2)
+	if o := n.Connect(client, srv2, []byte("x"), false, time.Time{}); o.Blocked {
+		t.Error("unblock by endpoint did not clear the IP rule")
+	}
+	if n.Flows != 4 {
+		t.Errorf("Flows = %d, want 4 (blocked attempts count)", n.Flows)
+	}
+}

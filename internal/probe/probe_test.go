@@ -1,0 +1,151 @@
+package probe
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestNR1Lengths(t *testing.T) {
+	want := []int{7, 8, 9, 11, 12, 13, 15, 16, 17, 21, 22, 23, 32, 33, 34, 40, 41, 42, 48, 49, 50}
+	got := NR1Lengths()
+	if len(got) != len(want) {
+		t.Fatalf("NR1Lengths() has %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("NR1Lengths()[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBuildReplayTypes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	recorded := make([]byte, 200)
+	rng.Read(recorded)
+
+	for _, tc := range []struct {
+		typ  Type
+		offs []int
+	}{
+		{R1, nil},
+		{R2, []int{0}},
+		{R3, []int{0, 1, 2, 3, 4, 5, 6, 7, 62, 63}},
+		{R4, []int{16}},
+		{R5, []int{6, 16}},
+		{R6, []int{16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 28, 29, 30, 31, 32}},
+	} {
+		p := Build(tc.typ, recorded, rng)
+		if len(p) != len(recorded) {
+			t.Errorf("%v: length %d, want %d", tc.typ, len(p), len(recorded))
+		}
+		got := diffOffsets(recorded, p)
+		if len(got) != len(tc.offs) {
+			t.Errorf("%v: changed offsets %v, want %v", tc.typ, got, tc.offs)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.offs[i] {
+				t.Errorf("%v: changed offsets %v, want %v", tc.typ, got, tc.offs)
+				break
+			}
+		}
+	}
+}
+
+func TestBuildMutationIsDifferent(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	recorded := make([]byte, 64)
+	for i := 0; i < 200; i++ {
+		p := Build(R2, recorded, rng)
+		if p[0] == recorded[0] {
+			t.Fatal("R2 mutation produced an identical byte")
+		}
+	}
+}
+
+func TestBuildNonReplayTypes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	seenLens := map[int]bool{}
+	for i := 0; i < 500; i++ {
+		p := Build(NR1, nil, rng)
+		if !isNR1Length(len(p)) {
+			t.Fatalf("NR1 probe of length %d", len(p))
+		}
+		seenLens[len(p)] = true
+	}
+	if len(seenLens) < 15 {
+		t.Errorf("NR1 lengths poorly covered: %d of 21", len(seenLens))
+	}
+	for i := 0; i < 10; i++ {
+		if p := Build(NR2, nil, rng); len(p) != 221 {
+			t.Fatalf("NR2 probe of length %d", len(p))
+		}
+		if p := Build(NR3, nil, rng); !isNR3Length(len(p)) {
+			t.Fatalf("NR3 probe of length %d", len(p))
+		}
+	}
+}
+
+// TestBuildShortRecorded verifies replays of payloads shorter than the
+// mutation offsets do not panic and skip out-of-range offsets.
+func TestBuildShortRecorded(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	recorded := make([]byte, 10) // shorter than offset 16 and 62
+	for _, typ := range []Type{R3, R4, R5, R6} {
+		p := Build(typ, recorded, rng)
+		if len(p) != 10 {
+			t.Errorf("%v: length changed", typ)
+		}
+	}
+	if p := Build(R4, recorded, rng); !bytes.Equal(p, recorded) {
+		t.Error("R4 with offset out of range should equal the recording")
+	}
+}
+
+func TestClassifyRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var recordings [][]byte
+	for i := 0; i < 5; i++ {
+		rec := make([]byte, 150+rng.Intn(300))
+		rng.Read(rec)
+		recordings = append(recordings, rec)
+	}
+	for _, typ := range []Type{R1, R2, R3, R4, R5, R6, NR1, NR2, NR3} {
+		for i := 0; i < 50; i++ {
+			rec := recordings[rng.Intn(len(recordings))]
+			p := Build(typ, rec, rng)
+			if got := Classify(p, recordings); got != typ {
+				t.Fatalf("Classify(Build(%v)) = %v", typ, got)
+			}
+		}
+	}
+}
+
+func TestClassifyUnknown(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	p := make([]byte, 123) // not an NR length, no recording matches
+	rng.Read(p)
+	if got := Classify(p, nil); got != Unknown {
+		t.Errorf("Classify = %v, want Unknown", got)
+	}
+}
+
+func TestReplayPredicate(t *testing.T) {
+	for _, typ := range []Type{R1, R2, R3, R4, R5, R6} {
+		if !typ.Replay() {
+			t.Errorf("%v.Replay() = false", typ)
+		}
+	}
+	for _, typ := range []Type{NR1, NR2, NR3, Unknown} {
+		if typ.Replay() {
+			t.Errorf("%v.Replay() = true", typ)
+		}
+	}
+}
+
+func TestStringNames(t *testing.T) {
+	if R1.String() != "R1" || NR2.String() != "NR2" || Unknown.String() != "unknown" {
+		t.Error("String() names wrong")
+	}
+}

@@ -1,0 +1,110 @@
+package probesim
+
+import (
+	"sort"
+
+	"sslab/internal/reaction"
+	"sslab/internal/sscrypto"
+)
+
+// Inference is what §5.2.2 shows an attacker can conclude from a server's
+// reactions to a set of random probes: the cryptographic construction, the
+// IV or salt length (and hence sometimes the exact cipher), and the
+// implementation/version family.
+type Inference struct {
+	// Kind is the inferred construction (stream or AEAD); only meaningful
+	// when Confident.
+	Kind sscrypto.Kind
+	// IVSize is the inferred IV (stream) or salt (AEAD) length in bytes,
+	// 0 if not determinable.
+	IVSize int
+	// Profile names the behaviour family consistent with the matrix.
+	Profile reaction.Profile
+	// Confident is false when the server showed no distinguishable
+	// reactions at all (the hardened / v1.0.7+ behaviour) — the §7.2 goal.
+	Confident bool
+	// CipherHint is set when the IV length uniquely identifies the cipher
+	// (a 12-byte IV means chacha20-ietf, per §5.2.2).
+	CipherHint string
+}
+
+// Infer plays the attacker: given a reaction matrix from random probes of
+// many lengths, recover what the server is running.
+func Infer(m *Matrix) Inference {
+	lengths := make([]int, 0, len(m.Cells))
+	for n := range m.Cells {
+		lengths = append(lengths, n)
+	}
+	sort.Ints(lengths)
+
+	// Find the first length at which the server ever closes immediately
+	// (RST or FIN/ACK) and the overall reaction mix.
+	firstClose, everClose := 0, false
+	rstEver := false
+	finAt := 0
+	for _, n := range lengths {
+		c := m.Cells[n]
+		closeFrac := c.Fraction(reaction.RST) + c.Fraction(reaction.FINACK)
+		if closeFrac > 0 && !everClose {
+			firstClose, everClose = n, true
+		}
+		if c.Fraction(reaction.RST) > 0 {
+			rstEver = true
+		}
+		if c.Fraction(reaction.FINACK) > 0.9 && finAt == 0 {
+			finAt = n
+		}
+	}
+
+	if !everClose {
+		// Pure timeouts: new libev with AEAD, OutlineVPN v1.0.7+, or the
+		// hardened profile — indistinguishable, which is the point.
+		return Inference{Confident: false}
+	}
+	if !rstEver {
+		// Occasional FIN/ACKs without a single RST: a new-libev stream
+		// server whose random probes sometimes decrypt to a connectable
+		// target (the "FIN/ACK below 3/16" row of Figure 10a). The exact
+		// IV length is hard to pin from FIN/ACKs alone.
+		return Inference{Kind: sscrypto.Stream, Profile: reaction.LibevNew, Confident: true}
+	}
+
+	// AEAD thresholds are deterministic: everything below the threshold
+	// times out and everything at/above closes with certainty. Check the
+	// jump sharpness first.
+	if sharp, salt, prof := aeadSignature(m, lengths, firstClose, finAt); sharp {
+		inf := Inference{Kind: sscrypto.AEAD, IVSize: salt, Profile: prof, Confident: true}
+		return inf
+	}
+
+	// Stream signature: probabilistic mix above IV+1 with the 13/16 RST
+	// plateau (or 13/16 timeout for new libev — but that never closes, so
+	// reaching here means old libev). firstClose = IV + 1.
+	iv := firstClose - 1
+	inf := Inference{Kind: sscrypto.Stream, IVSize: iv, Profile: reaction.LibevOld, Confident: true}
+	if iv == 12 {
+		// §5.2.2: chacha20-ietf is the only supported cipher with a
+		// 12-byte IV.
+		inf.CipherHint = "chacha20-ietf"
+	}
+	return inf
+}
+
+// aeadSignature detects the deterministic AEAD bands and maps them to a
+// salt size and profile.
+func aeadSignature(m *Matrix, lengths []int, firstClose, finAt int) (bool, int, reaction.Profile) {
+	// All-or-nothing reactions at every length => AEAD-style determinism.
+	for _, n := range lengths {
+		c := m.Cells[n]
+		dom := c.Dominant()
+		if f := c.Fraction(dom); f < 1 {
+			return false, 0, reaction.Profile{}
+		}
+	}
+	// OutlineVPN v1.0.6: FIN/ACK at exactly salt+18, RST above.
+	if finAt != 0 && m.Cells[finAt+1] != nil && m.Cells[finAt+1].Dominant() == reaction.RST {
+		return true, finAt - 18, reaction.Outline106
+	}
+	// Old libev AEAD: RST from salt+35 on.
+	return true, firstClose - 35, reaction.LibevOld
+}

@@ -1,0 +1,94 @@
+package probesim
+
+import (
+	"testing"
+
+	"sslab/internal/reaction"
+	"sslab/internal/sscrypto"
+)
+
+// scan builds a matrix for one configuration.
+func scan(t *testing.T, p reaction.Profile, method string, trials int) *Matrix {
+	t.Helper()
+	spec, err := sscrypto.Lookup(method)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ScanRandom(p, spec, "infer-pw", RandomProbeLengths(), trials, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestInferIdentifiesConfigurations reproduces §5.2.2: an attacker can
+// recover the construction, IV/salt length and version family from a
+// server's reactions to random probes.
+func TestInferIdentifiesConfigurations(t *testing.T) {
+	for _, tc := range []struct {
+		profile reaction.Profile
+		method  string
+		kind    sscrypto.Kind
+		ivSize  int
+		want    reaction.Profile
+		hint    string
+	}{
+		{reaction.LibevOld, "chacha20", sscrypto.Stream, 8, reaction.LibevOld, ""},
+		{reaction.LibevOld, "salsa20", sscrypto.Stream, 8, reaction.LibevOld, ""},
+		{reaction.LibevOld, "chacha20-ietf", sscrypto.Stream, 12, reaction.LibevOld, "chacha20-ietf"},
+		{reaction.LibevOld, "aes-256-ctr", sscrypto.Stream, 16, reaction.LibevOld, ""},
+		{reaction.LibevOld, "aes-128-gcm", sscrypto.AEAD, 16, reaction.LibevOld, ""},
+		{reaction.LibevOld, "aes-192-gcm", sscrypto.AEAD, 24, reaction.LibevOld, ""},
+		{reaction.LibevOld, "aes-256-gcm", sscrypto.AEAD, 32, reaction.LibevOld, ""},
+		{reaction.Outline106, "chacha20-ietf-poly1305", sscrypto.AEAD, 32, reaction.Outline106, ""},
+	} {
+		m := scan(t, tc.profile, tc.method, 300)
+		inf := Infer(m)
+		if !inf.Confident {
+			t.Errorf("%s/%s: not confident", tc.profile.Versions, tc.method)
+			continue
+		}
+		if inf.Kind != tc.kind {
+			t.Errorf("%s/%s: kind %v, want %v", tc.profile.Versions, tc.method, inf.Kind, tc.kind)
+		}
+		if inf.IVSize != tc.ivSize {
+			t.Errorf("%s/%s: IV size %d, want %d", tc.profile.Versions, tc.method, inf.IVSize, tc.ivSize)
+		}
+		if inf.Profile.Versions != tc.want.Versions {
+			t.Errorf("%s/%s: profile %s, want %s", tc.profile.Versions, tc.method, inf.Profile.Versions, tc.want.Versions)
+		}
+		if inf.CipherHint != tc.hint {
+			t.Errorf("%s/%s: cipher hint %q, want %q", tc.profile.Versions, tc.method, inf.CipherHint, tc.hint)
+		}
+	}
+}
+
+// TestInferNewLibevStream: FIN/ACK-only closes identify the new-libev
+// stream family.
+func TestInferNewLibevStream(t *testing.T) {
+	m := scan(t, reaction.LibevNew, "aes-256-ctr", 600)
+	inf := Infer(m)
+	if !inf.Confident || inf.Kind != sscrypto.Stream || inf.Profile.Versions != reaction.LibevNew.Versions {
+		t.Errorf("inference = %+v", inf)
+	}
+}
+
+// TestInferHardenedIsOpaque: the §7.2 profiles yield no confident
+// inference at all — the design goal of consistent reactions.
+func TestInferHardenedIsOpaque(t *testing.T) {
+	for _, tc := range []struct {
+		profile reaction.Profile
+		method  string
+	}{
+		{reaction.Outline107, "chacha20-ietf-poly1305"},
+		{reaction.Outline110, "chacha20-ietf-poly1305"},
+		{reaction.Hardened, "chacha20-ietf-poly1305"},
+		{reaction.LibevNew, "aes-256-gcm"},
+	} {
+		m := scan(t, tc.profile, tc.method, 100)
+		if inf := Infer(m); inf.Confident {
+			t.Errorf("%s %s/%s leaked an inference: %+v",
+				tc.profile.Name, tc.profile.Versions, tc.method, inf)
+		}
+	}
+}

@@ -1,0 +1,298 @@
+package reaction
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"sslab/internal/socks"
+	"sslab/internal/sscrypto"
+)
+
+var t0 = time.Date(2019, 9, 29, 0, 0, 0, 0, time.UTC)
+
+func mustServer(t *testing.T, p Profile, method string) *Server {
+	t.Helper()
+	spec, err := sscrypto.Lookup(method)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewServer(p, spec, "test-password")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// randomProbe returns n random bytes from rng.
+func randomProbe(rng *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}
+
+// fractions sends `trials` random probes of length n to a fresh-per-probe
+// payload (same server) and tallies reactions.
+func fractions(t *testing.T, s *Server, n, trials int, seed int64) map[Reaction]float64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	counts := map[Reaction]int{}
+	for i := 0; i < trials; i++ {
+		r := s.React(randomProbe(rng, n), t0)
+		counts[r.Reaction]++
+	}
+	out := map[Reaction]float64{}
+	for k, v := range counts {
+		out[k] = float64(v) / float64(trials)
+	}
+	return out
+}
+
+// streamMethodWithIV returns a registered stream method with the given IV size.
+func streamMethodWithIV(t *testing.T, ivSize int) string {
+	t.Helper()
+	for _, name := range sscrypto.StreamMethods() {
+		spec, _ := sscrypto.Lookup(name)
+		if spec.IVSize == ivSize {
+			return name
+		}
+	}
+	t.Fatalf("no stream method with IV size %d", ivSize)
+	return ""
+}
+
+// TestFigure10aOldLibev reproduces the first block of Figure 10a: old
+// Shadowsocks-libev with stream ciphers of 8/12/16-byte IVs.
+func TestFigure10aOldLibev(t *testing.T) {
+	for _, ivSize := range []int{8, 12, 16} {
+		method := streamMethodWithIV(t, ivSize)
+		s := mustServer(t, LibevOld, method)
+
+		// Region 1: probe length 1..IV — always TIMEOUT.
+		for _, n := range []int{1, ivSize / 2, ivSize} {
+			if f := fractions(t, s, n, 50, 1); f[Timeout] != 1 {
+				t.Errorf("iv=%d len=%d: reactions %v, want all TIMEOUT", ivSize, n, f)
+			}
+		}
+
+		// Region 2: IV+1 .. IV+6 — overwhelmingly RST (a complete
+		// hostname spec is possible only for tiny decrypted length bytes).
+		for _, n := range []int{ivSize + 1, ivSize + 3, ivSize + 6} {
+			if f := fractions(t, s, n, 400, 2); f[RST] < 0.90 {
+				t.Errorf("iv=%d len=%d: RST fraction %.3f, want >= 0.90 (%v)", ivSize, n, f[RST], f)
+			}
+		}
+
+		// Region 3: IV+7 and beyond — RST above 13/16, TIMEOUT below
+		// 3/16, FIN/ACK below 3/16 (the paper's exact bounds).
+		for _, n := range []int{ivSize + 7, ivSize + 20, 221} {
+			f := fractions(t, s, n, 3000, 3)
+			if f[RST] < 13.0/16*0.97 {
+				t.Errorf("iv=%d len=%d: RST %.3f, want >= 13/16", ivSize, n, f[RST])
+			}
+			if f[Timeout] > 3.0/16 {
+				t.Errorf("iv=%d len=%d: TIMEOUT %.3f, want < 3/16", ivSize, n, f[Timeout])
+			}
+			if f[FINACK] > 3.0/16 {
+				t.Errorf("iv=%d len=%d: FIN/ACK %.3f, want < 3/16", ivSize, n, f[FINACK])
+			}
+			if f[Timeout]+f[FINACK] < 0.02 {
+				t.Errorf("iv=%d len=%d: no TIMEOUT/FIN-ACK tail at all (%v); masking logic suspect", ivSize, n, f)
+			}
+		}
+	}
+}
+
+// TestFigure10aNewLibev reproduces the second block of Figure 10a: new
+// libev never RSTs; reactions are TIMEOUT above 13/16, FIN/ACK below 3/16.
+func TestFigure10aNewLibev(t *testing.T) {
+	for _, ivSize := range []int{8, 12, 16} {
+		s := mustServer(t, LibevNew, streamMethodWithIV(t, ivSize))
+		for _, n := range []int{1, ivSize, ivSize + 3, ivSize + 7, 49, 221} {
+			f := fractions(t, s, n, 2000, 4)
+			if f[RST] != 0 {
+				t.Errorf("iv=%d len=%d: new libev sent RST (%v)", ivSize, n, f)
+			}
+			if n <= ivSize && f[Timeout] != 1 {
+				t.Errorf("iv=%d len=%d: want all TIMEOUT, got %v", ivSize, n, f)
+			}
+			if f[FINACK] > 3.0/16 {
+				t.Errorf("iv=%d len=%d: FIN/ACK %.3f, want < 3/16", ivSize, n, f[FINACK])
+			}
+			if f[Timeout] < 13.0/16*0.97 {
+				t.Errorf("iv=%d len=%d: TIMEOUT %.3f, want above 13/16", ivSize, n, f[Timeout])
+			}
+		}
+	}
+}
+
+// aeadMethodWithSalt returns a registered AEAD method with the given salt size.
+func aeadMethodWithSalt(t *testing.T, saltSize int) string {
+	t.Helper()
+	for _, name := range sscrypto.AEADMethods() {
+		spec, _ := sscrypto.Lookup(name)
+		if spec.IVSize == saltSize {
+			return name
+		}
+	}
+	t.Fatalf("no AEAD method with salt size %d", saltSize)
+	return ""
+}
+
+// TestFigure10bOldLibev: for AEAD with salt s, old libev times out up to
+// s+34 bytes and RSTs from s+35 on (51/59/67 for 16/24/32-byte salts).
+func TestFigure10bOldLibev(t *testing.T) {
+	for _, saltSize := range []int{16, 24, 32} {
+		s := mustServer(t, LibevOld, aeadMethodWithSalt(t, saltSize))
+		threshold := saltSize + 35 // salt + 2 + 16 + 16 + 1
+		for _, n := range []int{1, saltSize, threshold - 1} {
+			if f := fractions(t, s, n, 100, 5); f[Timeout] != 1 {
+				t.Errorf("salt=%d len=%d: want all TIMEOUT, got %v", saltSize, n, f)
+			}
+		}
+		for _, n := range []int{threshold, threshold + 10, 221} {
+			if f := fractions(t, s, n, 100, 6); f[RST] != 1 {
+				t.Errorf("salt=%d len=%d: want all RST, got %v", saltSize, n, f)
+			}
+		}
+		// Pin the absolute thresholds the paper states: 51, 59, 67.
+		wantThreshold := map[int]int{16: 51, 24: 59, 32: 67}[saltSize]
+		if threshold != wantThreshold {
+			t.Errorf("salt=%d: reaction threshold %d, paper says %d", saltSize, threshold, wantThreshold)
+		}
+	}
+}
+
+// TestFigure10bNewLibev: new libev with AEAD always times out.
+func TestFigure10bNewLibev(t *testing.T) {
+	for _, saltSize := range []int{16, 24, 32} {
+		s := mustServer(t, LibevNew, aeadMethodWithSalt(t, saltSize))
+		for _, n := range []int{1, 50, 51, 67, 100, 221} {
+			if f := fractions(t, s, n, 100, 7); f[Timeout] != 1 {
+				t.Errorf("salt=%d len=%d: want all TIMEOUT, got %v", saltSize, n, f)
+			}
+		}
+	}
+}
+
+// TestFigure10bOutline106 pins OutlineVPN v1.0.6's three-band fingerprint:
+// TIMEOUT below 50 bytes, FIN/ACK at exactly 50, RST above.
+func TestFigure10bOutline106(t *testing.T) {
+	s := mustServer(t, Outline106, "chacha20-ietf-poly1305")
+	for _, n := range []int{1, 32, 49} {
+		if f := fractions(t, s, n, 100, 8); f[Timeout] != 1 {
+			t.Errorf("len=%d: want all TIMEOUT, got %v", n, f)
+		}
+	}
+	if f := fractions(t, s, 50, 100, 9); f[FINACK] != 1 {
+		t.Errorf("len=50: want all FIN/ACK, got %v", f)
+	}
+	for _, n := range []int{51, 60, 100, 221} {
+		if f := fractions(t, s, n, 100, 10); f[RST] != 1 {
+			t.Errorf("len=%d: want all RST, got %v", n, f)
+		}
+	}
+}
+
+// TestFigure10bOutline107 pins the v1.0.7+ fix: always TIMEOUT.
+func TestFigure10bOutline107(t *testing.T) {
+	s := mustServer(t, Outline107, "chacha20-ietf-poly1305")
+	for _, n := range []int{1, 49, 50, 51, 100, 221} {
+		if f := fractions(t, s, n, 100, 11); f[Timeout] != 1 {
+			t.Errorf("len=%d: want all TIMEOUT, got %v", n, f)
+		}
+	}
+}
+
+// TestOutlineRejectsStreamCiphers: OutlineVPN supports AEAD only.
+func TestOutlineRejectsStreamCiphers(t *testing.T) {
+	spec, _ := sscrypto.Lookup("aes-256-ctr")
+	for _, p := range []Profile{Outline106, Outline107, Outline110} {
+		if _, err := NewServer(p, spec, "pw"); err == nil {
+			t.Errorf("%s %s accepted a stream cipher", p.Name, p.Versions)
+		}
+	}
+}
+
+func TestReactionStrings(t *testing.T) {
+	for r, want := range map[Reaction]string{
+		Timeout: "TIMEOUT", RST: "RST", FINACK: "FIN/ACK", Data: "DATA", Reaction(99): "UNKNOWN",
+	} {
+		if got := r.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", r, got, want)
+		}
+	}
+}
+
+func TestProfilesList(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 8 {
+		t.Fatalf("Profiles() = %d entries", len(ps))
+	}
+	seen := map[string]bool{}
+	for _, p := range ps {
+		key := p.Name + p.Versions
+		if seen[key] {
+			t.Errorf("duplicate profile %s %s", p.Name, p.Versions)
+		}
+		seen[key] = true
+	}
+}
+
+func TestConfigErrorMessage(t *testing.T) {
+	spec, _ := sscrypto.Lookup("aes-256-ctr")
+	_, err := NewServer(Outline107, spec, "pw")
+	if err == nil {
+		t.Fatal("stream method accepted by AEAD-only profile")
+	}
+	var ce *ConfigError
+	if !errorsAs(err, &ce) {
+		t.Fatalf("error type %T", err)
+	}
+	if msg := ce.Error(); !strings.Contains(msg, "outline-ss-server") || !strings.Contains(msg, "aes-256-ctr") {
+		t.Errorf("message %q", msg)
+	}
+}
+
+func errorsAs(err error, target *(*ConfigError)) bool {
+	ce, ok := err.(*ConfigError)
+	if ok {
+		*target = ce
+	}
+	return ok
+}
+
+// TestHashDialerDeterministic: the 50/50 refused/hang split is stable per
+// address (a re-probed target reacts the same way).
+func TestHashDialerDeterministic(t *testing.T) {
+	d := HashDialer{}
+	refused, hang := 0, 0
+	for i := 0; i < 400; i++ {
+		addr := socks.Addr{Type: socks.AtypIPv4, IP: []byte{byte(i), 2, 3, 4}, Port: uint16(i)}
+		o1 := d.Dial(addr)
+		if o2 := d.Dial(addr); o2 != o1 {
+			t.Fatal("dial outcome not deterministic")
+		}
+		if o1 == DialRefused {
+			refused++
+		} else {
+			hang++
+		}
+	}
+	if refused < 100 || hang < 100 {
+		t.Errorf("split %d/%d; want roughly even", refused, hang)
+	}
+}
+
+// TestReactShortAEADPayloads covers sub-salt payloads and the exact
+// boundary where the salt is complete but nothing else is.
+func TestReactShortAEADPayloads(t *testing.T) {
+	s := mustServer(t, LibevOld, "aes-256-gcm")
+	for _, n := range []int{0, 1, 31, 32, 33, 66} {
+		payload := make([]byte, n)
+		if r := s.React(payload, t0); r.Reaction != Timeout {
+			t.Errorf("len %d: %v, want TIMEOUT", n, r.Reaction)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+// Package socks implements the SOCKS-style target-address encoding that
+// Shadowsocks borrows for its target specification, plus a minimal local
+// SOCKS5 server used by the client to accept application connections.
+//
+// The three address types, as laid out in §2 of the paper:
+//
+//	[0x01][4-byte IPv4 address][2-byte port]
+//	[0x03][1-byte length][hostname][2-byte port]
+//	[0x04][16-byte IPv6 address][2-byte port]
+package socks
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+)
+
+// Address types per the SOCKS5 / Shadowsocks specification.
+const (
+	AtypIPv4   = 0x01
+	AtypDomain = 0x03
+	AtypIPv6   = 0x04
+)
+
+// MaxAddrLen is the maximum serialized length of a target specification:
+// 1 (atyp) + 1 (len) + 255 (hostname) + 2 (port).
+const MaxAddrLen = 1 + 1 + 255 + 2
+
+// Common parse errors. ErrIncomplete signals that more bytes are needed —
+// the condition that makes a Shadowsocks server keep waiting (TIMEOUT in
+// Figure 10a); ErrBadAddrType signals an invalid address-type byte — the
+// condition that made older servers RST immediately.
+var (
+	ErrIncomplete  = errors.New("socks: incomplete target specification")
+	ErrBadAddrType = errors.New("socks: invalid address type")
+)
+
+// Addr is a parsed target specification.
+type Addr struct {
+	Type byte   // AtypIPv4, AtypDomain, or AtypIPv6
+	IP   net.IP // set for IPv4/IPv6
+	Host string // set for domain
+	Port uint16
+}
+
+// String renders the target as host:port.
+func (a Addr) String() string {
+	host := a.Host
+	if a.Type != AtypDomain {
+		host = a.IP.String()
+	}
+	return net.JoinHostPort(host, strconv.Itoa(int(a.Port)))
+}
+
+// Append serializes the target specification onto b.
+func (a Addr) Append(b []byte) []byte {
+	switch a.Type {
+	case AtypIPv4:
+		b = append(b, AtypIPv4)
+		b = append(b, a.IP.To4()...)
+	case AtypDomain:
+		b = append(b, AtypDomain, byte(len(a.Host)))
+		b = append(b, a.Host...)
+	case AtypIPv6:
+		b = append(b, AtypIPv6)
+		b = append(b, a.IP.To16()...)
+	default:
+		panic(fmt.Sprintf("socks: cannot serialize address type %#x", a.Type))
+	}
+	return append(b, byte(a.Port>>8), byte(a.Port))
+}
+
+// ParseAddr parses a host:port string into an Addr, classifying the host
+// as IPv4, IPv6, or domain.
+func ParseAddr(s string) (Addr, error) {
+	host, portStr, err := net.SplitHostPort(s)
+	if err != nil {
+		return Addr{}, fmt.Errorf("socks: %w", err)
+	}
+	port, err := strconv.ParseUint(portStr, 10, 16)
+	if err != nil {
+		return Addr{}, fmt.Errorf("socks: bad port %q", portStr)
+	}
+	a := Addr{Port: uint16(port)}
+	if ip := net.ParseIP(host); ip != nil {
+		if ip4 := ip.To4(); ip4 != nil {
+			a.Type, a.IP = AtypIPv4, ip4
+		} else {
+			a.Type, a.IP = AtypIPv6, ip
+		}
+		return a, nil
+	}
+	if len(host) == 0 || len(host) > 255 {
+		return Addr{}, fmt.Errorf("socks: bad hostname %q", host)
+	}
+	a.Type, a.Host = AtypDomain, host
+	return a, nil
+}
+
+// Decode parses a target specification from the front of b, returning the
+// address and the number of bytes consumed. It mirrors how Shadowsocks
+// servers parse decrypted plaintext:
+//
+//   - an unknown address type yields ErrBadAddrType;
+//   - too few bytes for the indicated type yields ErrIncomplete.
+//
+// mask reproduces the Shadowsocks-libev quirk of masking out the upper four
+// bits of the address-type byte (an artifact of the removed one-time-auth
+// scheme). With mask set, a random byte is a "valid" address type with
+// probability 3/16 rather than 3/256 — the difference §5.2.1 of the paper
+// shows an attacker can measure.
+func Decode(b []byte, mask bool) (Addr, int, error) {
+	if len(b) == 0 {
+		return Addr{}, 0, ErrIncomplete
+	}
+	atyp := b[0]
+	if mask {
+		atyp &= 0x0f
+	}
+	switch atyp {
+	case AtypIPv4:
+		if len(b) < 1+4+2 {
+			return Addr{}, 0, ErrIncomplete
+		}
+		return Addr{
+			Type: AtypIPv4,
+			IP:   net.IP(append([]byte(nil), b[1:5]...)),
+			Port: uint16(b[5])<<8 | uint16(b[6]),
+		}, 7, nil
+	case AtypDomain:
+		if len(b) < 2 {
+			return Addr{}, 0, ErrIncomplete
+		}
+		n := int(b[1])
+		if n == 0 {
+			return Addr{}, 0, ErrBadAddrType
+		}
+		if len(b) < 2+n+2 {
+			return Addr{}, 0, ErrIncomplete
+		}
+		return Addr{
+			Type: AtypDomain,
+			Host: string(b[2 : 2+n]),
+			Port: uint16(b[2+n])<<8 | uint16(b[2+n+1]),
+		}, 2 + n + 2, nil
+	case AtypIPv6:
+		if len(b) < 1+16+2 {
+			return Addr{}, 0, ErrIncomplete
+		}
+		return Addr{
+			Type: AtypIPv6,
+			IP:   net.IP(append([]byte(nil), b[1:17]...)),
+			Port: uint16(b[17])<<8 | uint16(b[18]),
+		}, 19, nil
+	default:
+		return Addr{}, 0, ErrBadAddrType
+	}
+}
+
+// ReadAddr reads a target specification from r.
+func ReadAddr(r io.Reader) (Addr, error) {
+	var buf [MaxAddrLen]byte
+	if _, err := io.ReadFull(r, buf[:1]); err != nil {
+		return Addr{}, err
+	}
+	var need int
+	switch buf[0] {
+	case AtypIPv4:
+		need = 4 + 2
+	case AtypIPv6:
+		need = 16 + 2
+	case AtypDomain:
+		if _, err := io.ReadFull(r, buf[1:2]); err != nil {
+			return Addr{}, err
+		}
+		need = int(buf[1]) + 2
+		if buf[1] == 0 {
+			return Addr{}, ErrBadAddrType
+		}
+		if _, err := io.ReadFull(r, buf[2:2+need]); err != nil {
+			return Addr{}, err
+		}
+		a, _, err := Decode(buf[:2+need], false)
+		return a, err
+	default:
+		return Addr{}, ErrBadAddrType
+	}
+	if _, err := io.ReadFull(r, buf[1:1+need]); err != nil {
+		return Addr{}, err
+	}
+	a, _, err := Decode(buf[:1+need], false)
+	return a, err
+}

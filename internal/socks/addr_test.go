@@ -1,0 +1,174 @@
+package socks
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseAddr(t *testing.T) {
+	for _, tc := range []struct {
+		in       string
+		wantType byte
+	}{
+		{"1.2.3.4:80", AtypIPv4},
+		{"example.com:443", AtypDomain},
+		{"[2001:db8::1]:8388", AtypIPv6},
+	} {
+		a, err := ParseAddr(tc.in)
+		if err != nil {
+			t.Errorf("ParseAddr(%q): %v", tc.in, err)
+			continue
+		}
+		if a.Type != tc.wantType {
+			t.Errorf("ParseAddr(%q).Type = %#x, want %#x", tc.in, a.Type, tc.wantType)
+		}
+		if a.String() != tc.in {
+			t.Errorf("round trip %q -> %q", tc.in, a.String())
+		}
+	}
+	for _, bad := range []string{"no-port", ":80", "example.com:99999", "host:-1"} {
+		if _, err := ParseAddr(bad); err == nil {
+			t.Errorf("ParseAddr(%q) accepted", bad)
+		}
+	}
+}
+
+func TestAppendDecodeRoundTrip(t *testing.T) {
+	for _, s := range []string{"10.0.0.1:8388", "gfw.report:443", "[::1]:53"} {
+		a, err := ParseAddr(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wire := a.Append(nil)
+		got, n, err := Decode(wire, false)
+		if err != nil {
+			t.Fatalf("Decode(%q): %v", s, err)
+		}
+		if n != len(wire) {
+			t.Errorf("%s: consumed %d of %d bytes", s, n, len(wire))
+		}
+		if got.String() != s {
+			t.Errorf("round trip %q -> %q", s, got.String())
+		}
+	}
+}
+
+// TestDecodeWireFormat pins the exact wire layout from §2 of the paper.
+func TestDecodeWireFormat(t *testing.T) {
+	wire := []byte{0x01, 1, 2, 3, 4, 0x01, 0xbb} // 1.2.3.4:443
+	a, n, err := Decode(wire, false)
+	if err != nil || n != 7 {
+		t.Fatalf("Decode: %v n=%d", err, n)
+	}
+	if !a.IP.Equal(net.IPv4(1, 2, 3, 4)) || a.Port != 443 {
+		t.Errorf("got %v", a)
+	}
+
+	wire = append([]byte{0x03, 0x0b}, append([]byte("example.com"), 0x00, 0x50)...)
+	a, n, err = Decode(wire, false)
+	if err != nil || n != len(wire) {
+		t.Fatalf("Decode domain: %v n=%d", err, n)
+	}
+	if a.Host != "example.com" || a.Port != 80 {
+		t.Errorf("got %v", a)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := Decode(nil, false); !errors.Is(err, ErrIncomplete) {
+		t.Error("empty input should be incomplete")
+	}
+	// Address types other than 1, 3, 4 are invalid.
+	if _, _, err := Decode([]byte{0x05, 0, 0, 0, 0, 0, 0}, false); !errors.Is(err, ErrBadAddrType) {
+		t.Error("atyp 5 accepted")
+	}
+	// Truncated IPv4.
+	if _, _, err := Decode([]byte{0x01, 1, 2, 3}, false); !errors.Is(err, ErrIncomplete) {
+		t.Error("truncated IPv4 not incomplete")
+	}
+	// Truncated IPv6.
+	if _, _, err := Decode([]byte{0x04, 1, 2, 3, 4, 5}, false); !errors.Is(err, ErrIncomplete) {
+		t.Error("truncated IPv6 not incomplete")
+	}
+	// Domain with length beyond available bytes.
+	if _, _, err := Decode([]byte{0x03, 200, 'a', 'b'}, false); !errors.Is(err, ErrIncomplete) {
+		t.Error("truncated domain not incomplete")
+	}
+}
+
+// TestDecodeMask verifies the libev upper-4-bit masking quirk: 0x11 & 0x0f
+// = 0x01 parses as IPv4, so 13/16 (not 253/256) of random type bytes fail.
+func TestDecodeMask(t *testing.T) {
+	wire := []byte{0x11, 1, 2, 3, 4, 0x01, 0xbb}
+	if _, _, err := Decode(wire, false); !errors.Is(err, ErrBadAddrType) {
+		t.Error("atyp 0x11 accepted without mask")
+	}
+	a, _, err := Decode(wire, true)
+	if err != nil {
+		t.Fatalf("atyp 0x11 with mask: %v", err)
+	}
+	if a.Type != AtypIPv4 {
+		t.Errorf("masked type = %#x", a.Type)
+	}
+
+	validFrac := 0
+	for b := 0; b < 256; b++ {
+		buf := make([]byte, 64)
+		buf[0] = byte(b)
+		if _, _, err := Decode(buf, true); !errors.Is(err, ErrBadAddrType) {
+			validFrac++
+		}
+	}
+	// With masking, 3 of every 16 type bytes are valid: 48 of 256.
+	// (0x?1, 0x?3, 0x?4 — except 0x?3 with zero length byte is handled
+	// separately; buf[1]=0 here makes domains ErrBadAddrType.)
+	want := 32 // 0x?1 and 0x?4 only, since buf[1] == 0 kills domains
+	if validFrac != want {
+		t.Errorf("valid-type fraction with mask: %d/256, want %d/256", validFrac, want)
+	}
+}
+
+func TestReadAddr(t *testing.T) {
+	for _, s := range []string{"8.8.8.8:53", "wikipedia.org:443", "[2001:db8::2]:80"} {
+		a, _ := ParseAddr(s)
+		got, err := ReadAddr(bytes.NewReader(a.Append(nil)))
+		if err != nil {
+			t.Errorf("ReadAddr(%s): %v", s, err)
+			continue
+		}
+		if got.String() != s {
+			t.Errorf("ReadAddr round trip %q -> %q", s, got.String())
+		}
+	}
+	if _, err := ReadAddr(bytes.NewReader([]byte{0x09})); err == nil {
+		t.Error("bad atyp accepted by ReadAddr")
+	}
+	if _, err := ReadAddr(bytes.NewReader([]byte{0x01, 1, 2})); err == nil {
+		t.Error("truncated stream accepted by ReadAddr")
+	}
+}
+
+// TestQuickRoundTrip property-tests Append/Decode for arbitrary ports and
+// hostnames.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(port uint16, hostBytes []byte) bool {
+		host := ""
+		for _, b := range hostBytes {
+			if b >= 'a' && b <= 'z' {
+				host += string(b)
+			}
+		}
+		if host == "" || len(host) > 255 {
+			host = "x"
+		}
+		a := Addr{Type: AtypDomain, Host: host, Port: port}
+		got, n, err := Decode(a.Append(nil), false)
+		return err == nil && n == 2+len(host)+2 && got.Host == host && got.Port == port
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,88 @@
+package socks
+
+import (
+	"fmt"
+	"io"
+	"net"
+)
+
+// SOCKS5 protocol constants for the minimal local server.
+const (
+	socks5Version     = 0x05
+	authNone          = 0x00
+	cmdConnect        = 0x01
+	replySucceeded    = 0x00
+	replyCmdUnsupport = 0x07
+)
+
+// Handshake performs the server side of a SOCKS5 negotiation on conn and
+// returns the CONNECT target. It supports the no-authentication method and
+// the CONNECT command only — exactly what a local Shadowsocks client needs
+// to accept browser/curl traffic.
+func Handshake(conn net.Conn) (Addr, error) {
+	// Method selection: VER NMETHODS METHODS...
+	var hdr [2]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		return Addr{}, fmt.Errorf("socks5: reading greeting: %w", err)
+	}
+	if hdr[0] != socks5Version {
+		return Addr{}, fmt.Errorf("socks5: unsupported version %#x", hdr[0])
+	}
+	methods := make([]byte, int(hdr[1]))
+	if _, err := io.ReadFull(conn, methods); err != nil {
+		return Addr{}, fmt.Errorf("socks5: reading methods: %w", err)
+	}
+	if _, err := conn.Write([]byte{socks5Version, authNone}); err != nil {
+		return Addr{}, err
+	}
+
+	// Request: VER CMD RSV ATYP ADDR PORT.
+	var req [3]byte
+	if _, err := io.ReadFull(conn, req[:]); err != nil {
+		return Addr{}, fmt.Errorf("socks5: reading request: %w", err)
+	}
+	if req[1] != cmdConnect {
+		conn.Write([]byte{socks5Version, replyCmdUnsupport, 0, AtypIPv4, 0, 0, 0, 0, 0, 0})
+		return Addr{}, fmt.Errorf("socks5: unsupported command %#x", req[1])
+	}
+	target, err := ReadAddr(conn)
+	if err != nil {
+		return Addr{}, fmt.Errorf("socks5: reading target: %w", err)
+	}
+	// Reply success with a zero bind address, as proxies conventionally do.
+	if _, err := conn.Write([]byte{socks5Version, replySucceeded, 0, AtypIPv4, 0, 0, 0, 0, 0, 0}); err != nil {
+		return Addr{}, err
+	}
+	return target, nil
+}
+
+// DialerHandshake performs the client side of a SOCKS5 CONNECT through
+// conn, asking the proxy to connect to target. Used in tests and examples
+// to drive the local client end-to-end.
+func DialerHandshake(conn net.Conn, target Addr) error {
+	if _, err := conn.Write([]byte{socks5Version, 1, authNone}); err != nil {
+		return err
+	}
+	var resp [2]byte
+	if _, err := io.ReadFull(conn, resp[:]); err != nil {
+		return err
+	}
+	if resp[0] != socks5Version || resp[1] != authNone {
+		return fmt.Errorf("socks5: server selected method %#x", resp[1])
+	}
+	req := append([]byte{socks5Version, cmdConnect, 0}, target.Append(nil)...)
+	if _, err := conn.Write(req); err != nil {
+		return err
+	}
+	var rep [3]byte
+	if _, err := io.ReadFull(conn, rep[:]); err != nil {
+		return err
+	}
+	if rep[1] != replySucceeded {
+		return fmt.Errorf("socks5: connect failed with code %#x", rep[1])
+	}
+	if _, err := ReadAddr(conn); err != nil { // bind address
+		return err
+	}
+	return nil
+}

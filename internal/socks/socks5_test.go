@@ -1,0 +1,119 @@
+package socks
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestSOCKS5HandshakeRoundTrip runs both sides of the SOCKS5 negotiation
+// over a pipe.
+func TestSOCKS5HandshakeRoundTrip(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+
+	want, _ := ParseAddr("example.com:443")
+	errc := make(chan error, 1)
+	go func() { errc <- DialerHandshake(client, want) }()
+
+	got, err := Handshake(server)
+	if err != nil {
+		t.Fatalf("server handshake: %v", err)
+	}
+	if got.String() != "example.com:443" {
+		t.Errorf("target %v", got)
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("client handshake: %v", err)
+	}
+}
+
+func TestSOCKS5HandshakeIPv4Target(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+
+	want, _ := ParseAddr("10.1.2.3:8080")
+	go DialerHandshake(client, want)
+	got, err := Handshake(server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != "10.1.2.3:8080" {
+		t.Errorf("target %v", got)
+	}
+}
+
+// TestSOCKS5BadVersion: a non-SOCKS5 greeting is rejected.
+func TestSOCKS5BadVersion(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+
+	go func() {
+		client.Write([]byte{0x04, 1, 0}) // SOCKS4
+	}()
+	if _, err := Handshake(server); err == nil {
+		t.Error("SOCKS4 greeting accepted")
+	}
+}
+
+// TestSOCKS5UnsupportedCommand: BIND/UDP-ASSOCIATE get a command-
+// unsupported reply and an error.
+func TestSOCKS5UnsupportedCommand(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+
+	go func() {
+		client.Write([]byte{5, 1, 0}) // greeting
+		buf := make([]byte, 2)
+		client.Read(buf) // method selection
+		// The server rejects after the 3-byte request header, so (per
+		// net.Pipe's synchronous semantics) send exactly that much.
+		client.Write([]byte{5, 0x02, 0}) // BIND
+		client.SetReadDeadline(time.Now().Add(time.Second))
+		io.ReadFull(client, make([]byte, 10)) // consume the error reply
+	}()
+	if _, err := Handshake(server); err == nil {
+		t.Error("BIND command accepted")
+	}
+}
+
+// TestSOCKS5TruncatedRequest: a client that disappears mid-handshake.
+func TestSOCKS5TruncatedRequest(t *testing.T) {
+	client, server := net.Pipe()
+	defer server.Close()
+	go func() {
+		client.Write([]byte{5, 1, 0})
+		buf := make([]byte, 2)
+		client.Read(buf)
+		client.Write([]byte{5, 1}) // truncated request header
+		client.Close()
+	}()
+	if _, err := Handshake(server); err == nil {
+		t.Error("truncated request accepted")
+	}
+}
+
+// TestDialerHandshakeRejectsFailureReply: a proxy that reports failure.
+func TestDialerHandshakeRejectsFailureReply(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+
+	go func() {
+		buf := make([]byte, 3)
+		server.Read(buf)
+		server.Write([]byte{5, 0}) // method ok
+		req := make([]byte, 32)
+		server.Read(req)
+		server.Write([]byte{5, 0x05, 0, 1, 0, 0, 0, 0, 0, 0}) // connection refused
+	}()
+	addr, _ := ParseAddr("example.com:80")
+	if err := DialerHandshake(client, addr); err == nil {
+		t.Error("failure reply accepted")
+	}
+}

@@ -1,0 +1,292 @@
+package ssclient
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"sslab/internal/socks"
+	"sslab/internal/sscrypto"
+	"sslab/internal/ssproto"
+)
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Method: "aes-256-gcm", Password: "x"}); err == nil {
+		t.Error("missing server accepted")
+	}
+	if _, err := New(Config{Server: "h:1", Method: "nope", Password: "x"}); err == nil {
+		t.Error("unknown method accepted")
+	}
+	if _, err := New(Config{Server: "h:1", Method: "aes-256-gcm", Password: "x"}); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+// fakeTransport returns a Dial function handing out one end of a pipe and
+// a channel delivering the other end.
+func fakeTransport() (func(string, string) (net.Conn, error), chan net.Conn) {
+	serverSide := make(chan net.Conn, 1)
+	dial := func(network, address string) (net.Conn, error) {
+		a, b := net.Pipe()
+		serverSide <- b
+		return a, nil
+	}
+	return dial, serverSide
+}
+
+// TestDialSendsSpecWithFirstPayload verifies the client merges the target
+// specification and the first application bytes into one first flight —
+// the behaviour that defines the first-packet length the GFW measures
+// (and the change OutlineVPN adopted in July 2020).
+func TestDialSendsSpecWithFirstPayload(t *testing.T) {
+	dial, serverSide := fakeTransport()
+	c, err := New(Config{Server: "server:8388", Method: "aes-128-gcm", Password: "pw", Dial: dial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := c.Dial("example.com:80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	srvRaw := <-serverSide
+	spec, _ := sscrypto.Lookup("aes-128-gcm")
+	srv := ssproto.NewConn(srvRaw, spec, spec.Key("pw"))
+
+	go conn.Write([]byte("GET / HTTP/1.1\r\n\r\n"))
+
+	// The server must receive spec+payload decodable from one chunk
+	// stream, starting with the target address.
+	addr, err := socks.ReadAddr(srv)
+	if err != nil {
+		t.Fatalf("reading target spec: %v", err)
+	}
+	if addr.String() != "example.com:80" {
+		t.Errorf("target %v", addr)
+	}
+	buf := make([]byte, 18)
+	if _, err := io.ReadFull(srv, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, []byte("GET / HTTP/1.1\r\n\r\n")) {
+		t.Errorf("payload %q", buf)
+	}
+}
+
+// TestDialFlushesHeaderOnRead: a protocol where the server speaks first
+// still needs the target spec delivered before the client reads.
+func TestDialFlushesHeaderOnRead(t *testing.T) {
+	dial, serverSide := fakeTransport()
+	c, err := New(Config{Server: "server:8388", Method: "aes-256-gcm", Password: "pw", Dial: dial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := c.Dial("1.2.3.4:25") // SMTP-style: server banner first
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		srvRaw := <-serverSide
+		spec, _ := sscrypto.Lookup("aes-256-gcm")
+		srv := ssproto.NewConn(srvRaw, spec, spec.Key("pw"))
+		addr, err := socks.ReadAddr(srv)
+		if err != nil {
+			done <- err
+			return
+		}
+		if addr.String() != "1.2.3.4:25" {
+			done <- io.ErrUnexpectedEOF
+			return
+		}
+		_, err = srv.Write([]byte("220 banner\r\n"))
+		done <- err
+	}()
+
+	banner := make([]byte, 12)
+	if _, err := io.ReadFull(conn, banner); err != nil {
+		t.Fatalf("reading banner: %v", err)
+	}
+	if string(banner) != "220 banner\r\n" {
+		t.Errorf("banner %q", banner)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDialRejectsBadTarget(t *testing.T) {
+	c, _ := New(Config{Server: "server:8388", Method: "aes-256-gcm", Password: "pw"})
+	if _, err := c.Dial("no-port-here"); err == nil {
+		t.Error("bad target accepted")
+	}
+}
+
+// TestShaperApplied verifies the Shaper hook wraps the transport before
+// the protocol writes anything.
+func TestShaperApplied(t *testing.T) {
+	dial, serverSide := fakeTransport()
+	var segments []int
+	shaper := func(conn net.Conn) net.Conn {
+		return &segmentCounter{Conn: conn, sizes: &segments}
+	}
+	c, err := New(Config{
+		Server: "server:8388", Method: "aes-256-gcm", Password: "pw",
+		Dial: dial, Shaper: shaper,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := c.Dial("example.com:443")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	go func() {
+		srv := <-serverSide
+		io.Copy(io.Discard, srv)
+	}()
+	if _, err := conn.Write([]byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if len(segments) == 0 {
+		t.Fatal("shaper never saw a write")
+	}
+}
+
+type segmentCounter struct {
+	net.Conn
+	sizes *[]int
+}
+
+func (s *segmentCounter) Write(p []byte) (int, error) {
+	*s.sizes = append(*s.sizes, len(p))
+	return s.Conn.Write(p)
+}
+
+// TestServeSOCKS5EndToEnd drives the client's local SOCKS5 front end
+// against a minimal in-package Shadowsocks "server" implemented directly
+// with ssproto.
+func TestServeSOCKS5EndToEnd(t *testing.T) {
+	// Minimal remote Shadowsocks server: decrypt, read spec, echo payload.
+	spec, _ := sscrypto.Lookup("aes-128-gcm")
+	key := spec.Key("pw")
+	ssLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ssLn.Close()
+	go func() {
+		for {
+			raw, err := ssLn.Accept()
+			if err != nil {
+				return
+			}
+			go func(raw net.Conn) {
+				defer raw.Close()
+				sc := ssproto.NewConn(raw, spec, key)
+				if _, err := socks.ReadAddr(sc); err != nil {
+					return
+				}
+				buf := make([]byte, 1024)
+				n, err := sc.Read(buf)
+				if err != nil {
+					return
+				}
+				sc.Write(append([]byte("echo:"), buf[:n]...))
+			}(raw)
+		}
+	}()
+
+	client, err := New(Config{Server: ssLn.Addr().String(), Method: "aes-128-gcm", Password: "pw"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	socksLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer socksLn.Close()
+	go client.ServeSOCKS5(socksLn)
+
+	app, err := net.Dial("tcp", socksLn.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+	target, _ := socks.ParseAddr("203.0.113.9:4444") // opaque to the fake server
+	if err := socks.DialerHandshake(app, target); err != nil {
+		t.Fatal(err)
+	}
+	app.Write([]byte("ping"))
+	want := []byte("echo:ping")
+	got := make([]byte, len(want))
+	app.SetReadDeadline(time.Now().Add(3 * time.Second))
+	if _, err := io.ReadFull(app, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("got %q", got)
+	}
+}
+
+// TestUDPAssociationInPackage covers DialUDP/Send/Recv against a raw
+// packet server implemented with ssproto.
+func TestUDPAssociationInPackage(t *testing.T) {
+	spec, _ := sscrypto.Lookup("chacha20-ietf-poly1305")
+	key := spec.Key("pw")
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	go func() {
+		buf := make([]byte, 64*1024)
+		for {
+			n, from, err := pc.ReadFrom(buf)
+			if err != nil {
+				return
+			}
+			target, payload, err := ssproto.UnpackUDP(spec, key, buf[:n])
+			if err != nil {
+				continue
+			}
+			// Echo straight back, with the original target as the source.
+			pkt, err := ssproto.PackUDP(spec, key, target, append([]byte("pong:"), payload...))
+			if err != nil {
+				continue
+			}
+			pc.WriteTo(pkt, from)
+		}
+	}()
+
+	client, err := New(Config{Server: pc.LocalAddr().String(), Method: "chacha20-ietf-poly1305", Password: "pw"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := client.DialUDP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u.Close()
+
+	if err := u.Send("8.8.8.8:53", []byte("q")); err != nil {
+		t.Fatal(err)
+	}
+	from, payload, err := u.Recv(time.Now().Add(3 * time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if from.String() != "8.8.8.8:53" || !bytes.Equal(payload, []byte("pong:q")) {
+		t.Errorf("from=%v payload=%q", from, payload)
+	}
+	if err := u.Send("bad-target", nil); err == nil {
+		t.Error("bad UDP target accepted")
+	}
+}

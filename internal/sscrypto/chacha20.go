@@ -1,0 +1,154 @@
+// Package sscrypto implements the cryptographic primitives Shadowsocks
+// depends on that are not available in the Go standard library: ChaCha20
+// (both the RFC 8439 IETF variant with a 12-byte nonce and the original
+// variant with an 8-byte nonce), Poly1305, the combined ChaCha20-Poly1305
+// AEAD, HKDF-SHA1 (the KDF the Shadowsocks AEAD construction uses to derive
+// per-session subkeys), and OpenSSL's EVP_BytesToKey password KDF.
+//
+// It also provides the cipher registry that maps Shadowsocks method names
+// such as "aes-256-gcm" or "chacha20-ietf-poly1305" to key sizes, IV/salt
+// sizes and constructors, mirroring the method tables of the Shadowsocks
+// whitepaper.
+package sscrypto
+
+import (
+	"encoding/binary"
+	"errors"
+	"math/bits"
+)
+
+// ChaCha20KeySize is the key size of every ChaCha20 variant, in bytes.
+const ChaCha20KeySize = 32
+
+// ChaCha20NonceSizeIETF is the nonce size of the RFC 8439 variant.
+const ChaCha20NonceSizeIETF = 12
+
+// ChaCha20NonceSizeLegacy is the nonce size of the original DJB variant
+// (used by the Shadowsocks "chacha20" stream method, which has an 8-byte IV).
+const ChaCha20NonceSizeLegacy = 8
+
+var errChaChaParams = errors.New("sscrypto: bad ChaCha20 key or nonce length")
+
+// ChaCha20 is a streaming ChaCha20 cipher implementing XOR of an arbitrary
+// length keystream. It supports both the IETF (12-byte nonce, 32-bit
+// counter) and legacy (8-byte nonce, 64-bit counter) variants.
+type ChaCha20 struct {
+	state   [16]uint32 // input block: constants, key, counter, nonce
+	buf     [64]byte   // currently buffered keystream block
+	bufUsed int        // bytes of buf already consumed; 64 means empty
+	legacy  bool       // 64-bit counter variant
+}
+
+// NewChaCha20 returns a ChaCha20 stream for the given 32-byte key and a
+// 12-byte (IETF) or 8-byte (legacy) nonce. The counter starts at zero.
+func NewChaCha20(key, nonce []byte) (*ChaCha20, error) {
+	return NewChaCha20WithCounter(key, nonce, 0)
+}
+
+// NewChaCha20WithCounter is NewChaCha20 with an explicit initial block
+// counter, as needed by the RFC 8439 AEAD construction (counter 1 for the
+// body, counter 0 for the one-time Poly1305 key).
+func NewChaCha20WithCounter(key, nonce []byte, counter uint32) (*ChaCha20, error) {
+	if len(key) != ChaCha20KeySize {
+		return nil, errChaChaParams
+	}
+	c := &ChaCha20{bufUsed: 64}
+	c.state[0] = 0x61707865
+	c.state[1] = 0x3320646e
+	c.state[2] = 0x79622d32
+	c.state[3] = 0x6b206574
+	for i := 0; i < 8; i++ {
+		c.state[4+i] = binary.LittleEndian.Uint32(key[4*i:])
+	}
+	switch len(nonce) {
+	case ChaCha20NonceSizeIETF:
+		c.state[12] = counter
+		c.state[13] = binary.LittleEndian.Uint32(nonce[0:])
+		c.state[14] = binary.LittleEndian.Uint32(nonce[4:])
+		c.state[15] = binary.LittleEndian.Uint32(nonce[8:])
+	case ChaCha20NonceSizeLegacy:
+		c.legacy = true
+		c.state[12] = counter
+		c.state[13] = 0
+		c.state[14] = binary.LittleEndian.Uint32(nonce[0:])
+		c.state[15] = binary.LittleEndian.Uint32(nonce[4:])
+	default:
+		return nil, errChaChaParams
+	}
+	return c, nil
+}
+
+func quarterRound(a, b, c, d uint32) (uint32, uint32, uint32, uint32) {
+	a += b
+	d = bits.RotateLeft32(d^a, 16)
+	c += d
+	b = bits.RotateLeft32(b^c, 12)
+	a += b
+	d = bits.RotateLeft32(d^a, 8)
+	c += d
+	b = bits.RotateLeft32(b^c, 7)
+	return a, b, c, d
+}
+
+// block generates the next 64-byte keystream block into c.buf and
+// increments the counter.
+func (c *ChaCha20) block() {
+	var x [16]uint32
+	copy(x[:], c.state[:])
+	for i := 0; i < 10; i++ {
+		// Column rounds.
+		x[0], x[4], x[8], x[12] = quarterRound(x[0], x[4], x[8], x[12])
+		x[1], x[5], x[9], x[13] = quarterRound(x[1], x[5], x[9], x[13])
+		x[2], x[6], x[10], x[14] = quarterRound(x[2], x[6], x[10], x[14])
+		x[3], x[7], x[11], x[15] = quarterRound(x[3], x[7], x[11], x[15])
+		// Diagonal rounds.
+		x[0], x[5], x[10], x[15] = quarterRound(x[0], x[5], x[10], x[15])
+		x[1], x[6], x[11], x[12] = quarterRound(x[1], x[6], x[11], x[12])
+		x[2], x[7], x[8], x[13] = quarterRound(x[2], x[7], x[8], x[13])
+		x[3], x[4], x[9], x[14] = quarterRound(x[3], x[4], x[9], x[14])
+	}
+	for i := 0; i < 16; i++ {
+		binary.LittleEndian.PutUint32(c.buf[4*i:], x[i]+c.state[i])
+	}
+	c.bufUsed = 0
+	// Increment the block counter: 32-bit for IETF, 64-bit for legacy.
+	c.state[12]++
+	if c.state[12] == 0 && c.legacy {
+		c.state[13]++
+	}
+}
+
+// XORKeyStream XORs src with the keystream into dst. dst and src must
+// overlap entirely or not at all, and len(dst) must be >= len(src).
+func (c *ChaCha20) XORKeyStream(dst, src []byte) {
+	if len(dst) < len(src) {
+		panic("sscrypto: chacha20 output smaller than input")
+	}
+	for len(src) > 0 {
+		if c.bufUsed == 64 {
+			c.block()
+		}
+		n := len(src)
+		if avail := 64 - c.bufUsed; n > avail {
+			n = avail
+		}
+		for i := 0; i < n; i++ {
+			dst[i] = src[i] ^ c.buf[c.bufUsed+i]
+		}
+		c.bufUsed += n
+		dst = dst[n:]
+		src = src[n:]
+	}
+}
+
+// chacha20Block64 writes one raw keystream block for (key, nonce, counter)
+// into out. Used to derive the Poly1305 one-time key.
+func chacha20Block64(key, nonce []byte, counter uint32, out *[64]byte) error {
+	c, err := NewChaCha20WithCounter(key, nonce, counter)
+	if err != nil {
+		return err
+	}
+	c.block()
+	copy(out[:], c.buf[:])
+	return nil
+}

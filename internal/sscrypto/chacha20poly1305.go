@@ -1,0 +1,130 @@
+package sscrypto
+
+import (
+	"crypto/subtle"
+	"encoding/binary"
+	"errors"
+)
+
+// ChaCha20Poly1305 implements the RFC 8439 AEAD as a cipher.AEAD. It is the
+// cipher behind the Shadowsocks "chacha20-ietf-poly1305" method — the only
+// AEAD method OutlineVPN supports.
+type ChaCha20Poly1305 struct {
+	key [ChaCha20KeySize]byte
+}
+
+// ErrAuthFailed is returned by Open when the Poly1305 tag does not verify.
+// In Shadowsocks server terms this is the "authentication error" that, in
+// older implementations, triggered an immediate RST (see Figure 10b of the
+// paper).
+var ErrAuthFailed = errors.New("sscrypto: message authentication failed")
+
+// NewChaCha20Poly1305 returns an AEAD for the given 32-byte key.
+func NewChaCha20Poly1305(key []byte) (*ChaCha20Poly1305, error) {
+	if len(key) != ChaCha20KeySize {
+		return nil, errChaChaParams
+	}
+	a := &ChaCha20Poly1305{}
+	copy(a.key[:], key)
+	return a, nil
+}
+
+// NonceSize implements cipher.AEAD.
+func (*ChaCha20Poly1305) NonceSize() int { return ChaCha20NonceSizeIETF }
+
+// Overhead implements cipher.AEAD.
+func (*ChaCha20Poly1305) Overhead() int { return Poly1305TagSize }
+
+// tag computes the RFC 8439 MAC for the given ciphertext and additional
+// data under the one-time key derived from (key, nonce).
+func (a *ChaCha20Poly1305) tag(out *[16]byte, nonce, ciphertext, additionalData []byte) {
+	var block [64]byte
+	if err := chacha20Block64(a.key[:], nonce, 0, &block); err != nil {
+		panic(err) // nonce length was validated by the caller
+	}
+	var polyKey [32]byte
+	copy(polyKey[:], block[:32])
+
+	mac := make([]byte, 0, len(additionalData)+len(ciphertext)+32)
+	mac = append(mac, additionalData...)
+	mac = appendPad16(mac)
+	mac = append(mac, ciphertext...)
+	mac = appendPad16(mac)
+	mac = binary.LittleEndian.AppendUint64(mac, uint64(len(additionalData)))
+	mac = binary.LittleEndian.AppendUint64(mac, uint64(len(ciphertext)))
+	Poly1305(out, mac, &polyKey)
+}
+
+func appendPad16(b []byte) []byte {
+	if rem := len(b) % 16; rem != 0 {
+		var zero [16]byte
+		b = append(b, zero[:16-rem]...)
+	}
+	return b
+}
+
+// Seal implements cipher.AEAD: it encrypts plaintext, appends the result
+// and a 16-byte tag to dst, and returns the extended slice.
+func (a *ChaCha20Poly1305) Seal(dst, nonce, plaintext, additionalData []byte) []byte {
+	if len(nonce) != ChaCha20NonceSizeIETF {
+		panic("sscrypto: bad nonce length for chacha20-poly1305")
+	}
+	// Grow dst without zero-filling so in-place encryption via
+	// Seal(plaintext[:0], ...) works.
+	off := len(dst)
+	if total := off + len(plaintext) + Poly1305TagSize; cap(dst) >= total {
+		dst = dst[:total]
+	} else {
+		grown := make([]byte, total)
+		copy(grown, dst)
+		dst = grown
+	}
+	ct := dst[off : off+len(plaintext)]
+
+	s, err := NewChaCha20WithCounter(a.key[:], nonce, 1)
+	if err != nil {
+		panic(err)
+	}
+	s.XORKeyStream(ct, plaintext)
+
+	var t [16]byte
+	a.tag(&t, nonce, ct, additionalData)
+	copy(dst[off+len(plaintext):], t[:])
+	return dst
+}
+
+// Open implements cipher.AEAD: it verifies the tag and decrypts. On
+// authentication failure it returns ErrAuthFailed and leaves dst unchanged.
+func (a *ChaCha20Poly1305) Open(dst, nonce, ciphertext, additionalData []byte) ([]byte, error) {
+	if len(nonce) != ChaCha20NonceSizeIETF {
+		return nil, errChaChaParams
+	}
+	if len(ciphertext) < Poly1305TagSize {
+		return nil, ErrAuthFailed
+	}
+	ct := ciphertext[:len(ciphertext)-Poly1305TagSize]
+	want := ciphertext[len(ciphertext)-Poly1305TagSize:]
+
+	var t [16]byte
+	a.tag(&t, nonce, ct, additionalData)
+	if subtle.ConstantTimeCompare(t[:], want) != 1 {
+		return nil, ErrAuthFailed
+	}
+
+	// Grow dst without zero-filling: callers conventionally pass
+	// ciphertext[:0] as dst, and zeroing would destroy ct before the XOR.
+	off := len(dst)
+	if total := off + len(ct); cap(dst) >= total {
+		dst = dst[:total]
+	} else {
+		grown := make([]byte, total)
+		copy(grown, dst)
+		dst = grown
+	}
+	s, err := NewChaCha20WithCounter(a.key[:], nonce, 1)
+	if err != nil {
+		return nil, err
+	}
+	s.XORKeyStream(dst[off:], ct)
+	return dst, nil
+}

@@ -1,0 +1,218 @@
+package sscrypto
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/md5"
+	"crypto/rc4"
+	"fmt"
+	"sort"
+)
+
+// Kind distinguishes the two cryptographic constructions the Shadowsocks
+// protocol specifies.
+type Kind int
+
+const (
+	// Stream is the deprecated stream-cipher construction:
+	// [variable-length IV][encrypted payload...]. It provides only
+	// confidentiality — no integrity and no real authentication — which is
+	// the root cause of the probing attacks in §2.1 and §5 of the paper.
+	Stream Kind = iota
+	// AEAD is the authenticated construction:
+	// [salt][2B len][16B tag][payload][16B tag]...
+	AEAD
+)
+
+func (k Kind) String() string {
+	if k == Stream {
+		return "stream"
+	}
+	return "AEAD"
+}
+
+// Spec describes one Shadowsocks cipher method: its name, construction
+// kind, key size, and IV (stream) or salt (AEAD) size in bytes.
+type Spec struct {
+	Name    string
+	Kind    Kind
+	KeySize int
+	// IVSize is the initialization-vector size for stream methods (8, 12,
+	// or 16 bytes) or the salt size for AEAD methods (16, 24, or 32 bytes).
+	IVSize int
+
+	newStream func(key, iv []byte) (cipher.Stream, error)
+	newAEAD   func(subkey []byte) (cipher.AEAD, error)
+}
+
+// SaltSize is an alias for IVSize that reads better for AEAD specs.
+func (s Spec) SaltSize() int { return s.IVSize }
+
+// NewStream builds the per-connection stream cipher for a stream spec.
+func (s Spec) NewStream(key, iv []byte) (cipher.Stream, error) {
+	if s.Kind != Stream {
+		return nil, fmt.Errorf("sscrypto: %s is not a stream method", s.Name)
+	}
+	if len(key) != s.KeySize || len(iv) != s.IVSize {
+		return nil, fmt.Errorf("sscrypto: %s: bad key/IV length %d/%d", s.Name, len(key), len(iv))
+	}
+	return s.newStream(key, iv)
+}
+
+// NewAEAD builds the per-session AEAD from an already-derived subkey.
+func (s Spec) NewAEAD(subkey []byte) (cipher.AEAD, error) {
+	if s.Kind != AEAD {
+		return nil, fmt.Errorf("sscrypto: %s is not an AEAD method", s.Name)
+	}
+	if len(subkey) != s.KeySize {
+		return nil, fmt.Errorf("sscrypto: %s: bad subkey length %d", s.Name, len(subkey))
+	}
+	return s.newAEAD(subkey)
+}
+
+// Key derives the master key for this method from a password.
+func (s Spec) Key(password string) []byte {
+	return EVPBytesToKey(password, s.KeySize)
+}
+
+func aesCTR(key, iv []byte) (cipher.Stream, error) {
+	b, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	return cipher.NewCTR(b, iv), nil
+}
+
+func aesCFB(key, iv []byte) (cipher.Stream, error) {
+	b, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	return cipher.NewCFBEncrypter(b, iv), nil
+}
+
+// aesCFBDecrypter mirrors aesCFB for the decrypting direction; CFB is the
+// one mode where encrypt and decrypt streams differ.
+func aesCFBDecrypter(key, iv []byte) (cipher.Stream, error) {
+	b, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	return cipher.NewCFBDecrypter(b, iv), nil
+}
+
+func rc4MD5(key, iv []byte) (cipher.Stream, error) {
+	h := md5.New()
+	h.Write(key)
+	h.Write(iv)
+	c, err := rc4.NewCipher(h.Sum(nil))
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func chachaStream(key, iv []byte) (cipher.Stream, error) {
+	return NewChaCha20(key, iv)
+}
+
+func salsaStream(key, iv []byte) (cipher.Stream, error) {
+	return NewSalsa20(key, iv)
+}
+
+func xchachaPoly(subkey []byte) (cipher.AEAD, error) {
+	return NewXChaCha20Poly1305(subkey)
+}
+
+func aesGCM(subkey []byte) (cipher.AEAD, error) {
+	b, err := aes.NewCipher(subkey)
+	if err != nil {
+		return nil, err
+	}
+	return cipher.NewGCM(b)
+}
+
+func chachaPoly(subkey []byte) (cipher.AEAD, error) {
+	return NewChaCha20Poly1305(subkey)
+}
+
+// specs is the method registry. IV sizes cover all three classes the paper
+// groups server reactions by: 8, 12, and 16 bytes for stream methods, and
+// salt sizes 16, 24, and 32 bytes for AEAD methods.
+var specs = map[string]Spec{
+	"aes-128-ctr": {Name: "aes-128-ctr", Kind: Stream, KeySize: 16, IVSize: 16, newStream: aesCTR},
+	"aes-192-ctr": {Name: "aes-192-ctr", Kind: Stream, KeySize: 24, IVSize: 16, newStream: aesCTR},
+	"aes-256-ctr": {Name: "aes-256-ctr", Kind: Stream, KeySize: 32, IVSize: 16, newStream: aesCTR},
+	"aes-128-cfb": {Name: "aes-128-cfb", Kind: Stream, KeySize: 16, IVSize: 16, newStream: aesCFB},
+	"aes-192-cfb": {Name: "aes-192-cfb", Kind: Stream, KeySize: 24, IVSize: 16, newStream: aesCFB},
+	"aes-256-cfb": {Name: "aes-256-cfb", Kind: Stream, KeySize: 32, IVSize: 16, newStream: aesCFB},
+	"rc4-md5":     {Name: "rc4-md5", Kind: Stream, KeySize: 16, IVSize: 16, newStream: rc4MD5},
+	// chacha20-ietf is the only supported stream method with a 12-byte IV —
+	// the paper notes an attacker who infers a 12-byte IV therefore knows
+	// the exact cipher (§5.2.2).
+	"chacha20-ietf": {Name: "chacha20-ietf", Kind: Stream, KeySize: 32, IVSize: 12, newStream: chachaStream},
+	// chacha20 (legacy, 8-byte nonce) and salsa20 are the 8-byte-IV class.
+	"chacha20": {Name: "chacha20", Kind: Stream, KeySize: 32, IVSize: 8, newStream: chachaStream},
+	"salsa20":  {Name: "salsa20", Kind: Stream, KeySize: 32, IVSize: 8, newStream: salsaStream},
+
+	"aes-128-gcm":             {Name: "aes-128-gcm", Kind: AEAD, KeySize: 16, IVSize: 16, newAEAD: aesGCM},
+	"aes-192-gcm":             {Name: "aes-192-gcm", Kind: AEAD, KeySize: 24, IVSize: 24, newAEAD: aesGCM},
+	"aes-256-gcm":             {Name: "aes-256-gcm", Kind: AEAD, KeySize: 32, IVSize: 32, newAEAD: aesGCM},
+	"chacha20-ietf-poly1305":  {Name: "chacha20-ietf-poly1305", Kind: AEAD, KeySize: 32, IVSize: 32, newAEAD: chachaPoly},
+	"xchacha20-ietf-poly1305": {Name: "xchacha20-ietf-poly1305", Kind: AEAD, KeySize: 32, IVSize: 32, newAEAD: xchachaPoly},
+}
+
+// cfbDecrypters maps CFB method names to their decrypting constructor.
+var cfbDecrypters = map[string]func(key, iv []byte) (cipher.Stream, error){
+	"aes-128-cfb": aesCFBDecrypter,
+	"aes-192-cfb": aesCFBDecrypter,
+	"aes-256-cfb": aesCFBDecrypter,
+}
+
+// Lookup returns the Spec for a Shadowsocks method name.
+func Lookup(name string) (Spec, error) {
+	s, ok := specs[name]
+	if !ok {
+		return Spec{}, fmt.Errorf("sscrypto: unknown cipher method %q", name)
+	}
+	return s, nil
+}
+
+// NewStreamDecrypter builds the decrypting stream for a stream spec. For
+// every mode except CFB this is identical to NewStream.
+func (s Spec) NewStreamDecrypter(key, iv []byte) (cipher.Stream, error) {
+	if dec, ok := cfbDecrypters[s.Name]; ok {
+		if len(key) != s.KeySize || len(iv) != s.IVSize {
+			return nil, fmt.Errorf("sscrypto: %s: bad key/IV length", s.Name)
+		}
+		return dec(key, iv)
+	}
+	return s.NewStream(key, iv)
+}
+
+// Methods returns all registered method names, sorted.
+func Methods() []string {
+	out := make([]string, 0, len(specs))
+	for name := range specs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// StreamMethods returns the names of all stream-construction methods, sorted.
+func StreamMethods() []string { return methodsOfKind(Stream) }
+
+// AEADMethods returns the names of all AEAD-construction methods, sorted.
+func AEADMethods() []string { return methodsOfKind(AEAD) }
+
+func methodsOfKind(k Kind) []string {
+	var out []string
+	for name, s := range specs {
+		if s.Kind == k {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

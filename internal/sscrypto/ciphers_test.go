@@ -1,0 +1,169 @@
+package sscrypto
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestLookupKnownMethods(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		kind    Kind
+		keySize int
+		ivSize  int
+	}{
+		{"aes-128-ctr", Stream, 16, 16},
+		{"aes-256-cfb", Stream, 32, 16},
+		{"rc4-md5", Stream, 16, 16},
+		{"chacha20-ietf", Stream, 32, 12},
+		{"chacha20", Stream, 32, 8},
+		{"aes-128-gcm", AEAD, 16, 16},
+		{"aes-192-gcm", AEAD, 24, 24},
+		{"aes-256-gcm", AEAD, 32, 32},
+		{"chacha20-ietf-poly1305", AEAD, 32, 32},
+	} {
+		s, err := Lookup(tc.name)
+		if err != nil {
+			t.Errorf("Lookup(%q): %v", tc.name, err)
+			continue
+		}
+		if s.Kind != tc.kind || s.KeySize != tc.keySize || s.IVSize != tc.ivSize {
+			t.Errorf("%s: got (%v,%d,%d), want (%v,%d,%d)",
+				tc.name, s.Kind, s.KeySize, s.IVSize, tc.kind, tc.keySize, tc.ivSize)
+		}
+	}
+	if _, err := Lookup("rot13"); err == nil {
+		t.Error("unknown method accepted")
+	}
+}
+
+// TestIVSizeClasses verifies the registry covers all IV/salt size classes
+// the paper's Figure 10 groups server reactions by.
+func TestIVSizeClasses(t *testing.T) {
+	streamSizes := map[int]bool{}
+	aeadSizes := map[int]bool{}
+	for _, name := range StreamMethods() {
+		s, _ := Lookup(name)
+		streamSizes[s.IVSize] = true
+	}
+	for _, name := range AEADMethods() {
+		s, _ := Lookup(name)
+		aeadSizes[s.IVSize] = true
+	}
+	for _, n := range []int{8, 12, 16} {
+		if !streamSizes[n] {
+			t.Errorf("no stream method with %d-byte IV", n)
+		}
+	}
+	for _, n := range []int{16, 24, 32} {
+		if !aeadSizes[n] {
+			t.Errorf("no AEAD method with %d-byte salt", n)
+		}
+	}
+}
+
+// TestStreamRoundTrip encrypts and decrypts under every stream method.
+func TestStreamRoundTrip(t *testing.T) {
+	msg := []byte("GET / HTTP/1.1\r\nHost: example.com\r\n\r\n")
+	for _, name := range StreamMethods() {
+		spec, _ := Lookup(name)
+		key := spec.Key("password")
+		iv := make([]byte, spec.IVSize)
+		for i := range iv {
+			iv[i] = byte(i + 1)
+		}
+		enc, err := spec.NewStream(key, iv)
+		if err != nil {
+			t.Errorf("%s: NewStream: %v", name, err)
+			continue
+		}
+		dec, err := spec.NewStreamDecrypter(key, iv)
+		if err != nil {
+			t.Errorf("%s: NewStreamDecrypter: %v", name, err)
+			continue
+		}
+		ct := make([]byte, len(msg))
+		enc.XORKeyStream(ct, msg)
+		if bytes.Equal(ct, msg) {
+			t.Errorf("%s: ciphertext equals plaintext", name)
+		}
+		pt := make([]byte, len(ct))
+		dec.XORKeyStream(pt, ct)
+		if !bytes.Equal(pt, msg) {
+			t.Errorf("%s: round trip failed", name)
+		}
+	}
+}
+
+// TestAEADRoundTrip seals and opens under every AEAD method.
+func TestAEADRoundTrip(t *testing.T) {
+	msg := []byte("\x03\x0bexample.com\x01\xbbhello")
+	for _, name := range AEADMethods() {
+		spec, _ := Lookup(name)
+		master := spec.Key("password")
+		salt := make([]byte, spec.SaltSize())
+		for i := range salt {
+			salt[i] = byte(i)
+		}
+		subkey := SessionSubkey(master, salt)
+		aead, err := spec.NewAEAD(subkey)
+		if err != nil {
+			t.Errorf("%s: NewAEAD: %v", name, err)
+			continue
+		}
+		nonce := make([]byte, aead.NonceSize())
+		ct := aead.Seal(nil, nonce, msg, nil)
+		pt, err := aead.Open(nil, nonce, ct, nil)
+		if err != nil || !bytes.Equal(pt, msg) {
+			t.Errorf("%s: round trip failed: %v", name, err)
+		}
+		ct[0] ^= 1
+		if _, err := aead.Open(nil, nonce, ct, nil); err == nil {
+			t.Errorf("%s: tampered ciphertext accepted", name)
+		}
+	}
+}
+
+// TestKindMismatch verifies constructors reject the wrong construction.
+func TestKindMismatch(t *testing.T) {
+	stream, _ := Lookup("aes-128-ctr")
+	if _, err := stream.NewAEAD(make([]byte, 16)); err == nil {
+		t.Error("NewAEAD on a stream spec succeeded")
+	}
+	aead, _ := Lookup("aes-128-gcm")
+	if _, err := aead.NewStream(make([]byte, 16), make([]byte, 16)); err == nil {
+		t.Error("NewStream on an AEAD spec succeeded")
+	}
+}
+
+// TestRC4MD5DependsOnIV verifies rc4-md5 derives a distinct per-connection
+// keystream from the IV (its whole point versus bare RC4).
+func TestRC4MD5DependsOnIV(t *testing.T) {
+	spec, _ := Lookup("rc4-md5")
+	key := spec.Key("pw")
+	msg := make([]byte, 32)
+	iv1 := make([]byte, 16)
+	iv2 := make([]byte, 16)
+	iv2[0] = 1
+	c1, _ := spec.NewStream(key, iv1)
+	c2, _ := spec.NewStream(key, iv2)
+	out1 := make([]byte, len(msg))
+	out2 := make([]byte, len(msg))
+	c1.XORKeyStream(out1, msg)
+	c2.XORKeyStream(out2, msg)
+	if bytes.Equal(out1, out2) {
+		t.Error("rc4-md5 keystream identical across different IVs")
+	}
+}
+
+func TestMethodsSorted(t *testing.T) {
+	all := Methods()
+	if len(all) != len(StreamMethods())+len(AEADMethods()) {
+		t.Error("Methods() inconsistent with per-kind lists")
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1] >= all[i] {
+			t.Errorf("Methods() not sorted at %d: %s >= %s", i, all[i-1], all[i])
+		}
+	}
+}

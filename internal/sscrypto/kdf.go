@@ -1,0 +1,72 @@
+package sscrypto
+
+import (
+	"crypto/hmac"
+	"crypto/md5"
+	"crypto/sha1"
+	"errors"
+)
+
+// HKDFSHA1 derives keying material per RFC 5869 using HMAC-SHA1, the KDF
+// mandated by the Shadowsocks AEAD specification:
+//
+//	subkey = HKDF-SHA1(key=master, salt=salt, info="ss-subkey")
+//
+// length must be at most 255*20 bytes.
+func HKDFSHA1(secret, salt, info []byte, length int) ([]byte, error) {
+	if length <= 0 || length > 255*sha1.Size {
+		return nil, errors.New("sscrypto: bad HKDF output length")
+	}
+	// Extract.
+	if salt == nil {
+		salt = make([]byte, sha1.Size)
+	}
+	ext := hmac.New(sha1.New, salt)
+	ext.Write(secret)
+	prk := ext.Sum(nil)
+
+	// Expand.
+	out := make([]byte, 0, length)
+	var t []byte
+	for i := byte(1); len(out) < length; i++ {
+		exp := hmac.New(sha1.New, prk)
+		exp.Write(t)
+		exp.Write(info)
+		exp.Write([]byte{i})
+		t = exp.Sum(nil)
+		out = append(out, t...)
+	}
+	return out[:length], nil
+}
+
+// ssSubkeyInfo is the HKDF info string fixed by the Shadowsocks AEAD spec.
+var ssSubkeyInfo = []byte("ss-subkey")
+
+// SessionSubkey derives the per-direction AEAD session subkey from the
+// master key and the salt that prefixes the stream.
+func SessionSubkey(masterKey, salt []byte) []byte {
+	k, err := HKDFSHA1(masterKey, salt, ssSubkeyInfo, len(masterKey))
+	if err != nil {
+		panic(err) // cannot happen: master keys are 16–32 bytes
+	}
+	return k
+}
+
+// EVPBytesToKey derives a master key from a password exactly as OpenSSL's
+// EVP_BytesToKey does with MD5 and no salt — the scheme every Shadowsocks
+// implementation uses to turn the shared password into the master key:
+//
+//	D1 = MD5(password), D2 = MD5(D1 || password), ...
+//	key = (D1 || D2 || ...)[:keyLen]
+func EVPBytesToKey(password string, keyLen int) []byte {
+	var prev []byte
+	out := make([]byte, 0, keyLen+md5.Size)
+	for len(out) < keyLen {
+		h := md5.New()
+		h.Write(prev)
+		h.Write([]byte(password))
+		prev = h.Sum(nil)
+		out = append(out, prev...)
+	}
+	return out[:keyLen]
+}

@@ -1,0 +1,82 @@
+package sscrypto
+
+import (
+	"bytes"
+	"crypto/rand"
+	"testing"
+)
+
+// TestPoly1305RFC8439 checks the MAC against the RFC 8439 §2.5.2 vector.
+func TestPoly1305RFC8439(t *testing.T) {
+	var key [32]byte
+	copy(key[:], unhex(t, "85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b"))
+	msg := []byte("Cryptographic Forum Research Group")
+	var tag [16]byte
+	Poly1305(&tag, msg, &key)
+	want := unhex(t, "a8061dc1305136c6c22b8baf0c0127a9")
+	if !bytes.Equal(tag[:], want) {
+		t.Errorf("tag mismatch:\n got %x\nwant %x", tag[:], want)
+	}
+}
+
+// TestPoly1305EdgeLengths exercises messages around the 16-byte block
+// boundary, where the padding logic lives.
+func TestPoly1305EdgeLengths(t *testing.T) {
+	var key [32]byte
+	if _, err := rand.Read(key[:]); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{0, 1, 15, 16, 17, 31, 32, 33, 64, 1000} {
+		msg := make([]byte, n)
+		var t1, t2 [16]byte
+		Poly1305(&t1, msg, &key)
+		Poly1305(&t2, msg, &key)
+		if t1 != t2 {
+			t.Errorf("len %d: MAC not deterministic", n)
+		}
+		if n > 0 {
+			msg[n/2] ^= 0x01
+			var t3 [16]byte
+			Poly1305(&t3, msg, &key)
+			if t1 == t3 {
+				t.Errorf("len %d: MAC unchanged after bit flip", n)
+			}
+		}
+	}
+}
+
+// TestPoly1305Degenerate checks the all-zero key (tag must be zero for any
+// message, since r = s = 0) — a classic implementation sanity vector.
+func TestPoly1305Degenerate(t *testing.T) {
+	var key [32]byte
+	var tag [16]byte
+	Poly1305(&tag, []byte("any message at all, of any length whatsoever"), &key)
+	if tag != [16]byte{} {
+		t.Errorf("zero key should give zero tag, got %x", tag[:])
+	}
+}
+
+// TestPoly1305Wraparound uses a key/message pair chosen so the accumulator
+// crosses 2^130-5, exercising the final modular reduction (vector #5 from
+// the go-crypto Poly1305 test suite, originally from donna).
+func TestPoly1305Wraparound(t *testing.T) {
+	var key [32]byte
+	copy(key[:], unhex(t, "0200000000000000000000000000000000000000000000000000000000000000"))
+	msg := unhex(t, "ffffffffffffffffffffffffffffffff")
+	var tag [16]byte
+	Poly1305(&tag, msg, &key)
+	want := unhex(t, "03000000000000000000000000000000")
+	if !bytes.Equal(tag[:], want) {
+		t.Errorf("tag mismatch:\n got %x\nwant %x", tag[:], want)
+	}
+}
+
+func BenchmarkPoly1305(b *testing.B) {
+	var key [32]byte
+	msg := make([]byte, 4096)
+	var tag [16]byte
+	b.SetBytes(int64(len(msg)))
+	for i := 0; i < b.N; i++ {
+		Poly1305(&tag, msg, &key)
+	}
+}

@@ -1,0 +1,92 @@
+package sscrypto
+
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
+// Salsa20 implements DJB's Salsa20/20 stream cipher — the other classic
+// 8-byte-IV Shadowsocks stream method ("salsa20"). Structurally it is
+// ChaCha20's sibling: same 512-bit state, different constant placement
+// and quarter-round wiring.
+type Salsa20 struct {
+	state   [16]uint32
+	buf     [64]byte
+	bufUsed int
+}
+
+// NewSalsa20 returns a Salsa20 stream for a 32-byte key and 8-byte nonce.
+func NewSalsa20(key, nonce []byte) (*Salsa20, error) {
+	if len(key) != 32 || len(nonce) != 8 {
+		return nil, errChaChaParams
+	}
+	s := &Salsa20{bufUsed: 64}
+	// "expand 32-byte k" at positions 0, 5, 10, 15.
+	s.state[0] = 0x61707865
+	s.state[5] = 0x3320646e
+	s.state[10] = 0x79622d32
+	s.state[15] = 0x6b206574
+	for i := 0; i < 4; i++ {
+		s.state[1+i] = binary.LittleEndian.Uint32(key[4*i:])
+		s.state[11+i] = binary.LittleEndian.Uint32(key[16+4*i:])
+	}
+	s.state[6] = binary.LittleEndian.Uint32(nonce[0:])
+	s.state[7] = binary.LittleEndian.Uint32(nonce[4:])
+	// state[8], state[9]: 64-bit block counter, starts at zero.
+	return s, nil
+}
+
+func salsaQR(a, b, c, d uint32) (uint32, uint32, uint32, uint32) {
+	b ^= bits.RotateLeft32(a+d, 7)
+	c ^= bits.RotateLeft32(b+a, 9)
+	d ^= bits.RotateLeft32(c+b, 13)
+	a ^= bits.RotateLeft32(d+c, 18)
+	return a, b, c, d
+}
+
+func (s *Salsa20) block() {
+	var x [16]uint32
+	copy(x[:], s.state[:])
+	for i := 0; i < 10; i++ {
+		// Column rounds.
+		x[0], x[4], x[8], x[12] = salsaQR(x[0], x[4], x[8], x[12])
+		x[5], x[9], x[13], x[1] = salsaQR(x[5], x[9], x[13], x[1])
+		x[10], x[14], x[2], x[6] = salsaQR(x[10], x[14], x[2], x[6])
+		x[15], x[3], x[7], x[11] = salsaQR(x[15], x[3], x[7], x[11])
+		// Row rounds.
+		x[0], x[1], x[2], x[3] = salsaQR(x[0], x[1], x[2], x[3])
+		x[5], x[6], x[7], x[4] = salsaQR(x[5], x[6], x[7], x[4])
+		x[10], x[11], x[8], x[9] = salsaQR(x[10], x[11], x[8], x[9])
+		x[15], x[12], x[13], x[14] = salsaQR(x[15], x[12], x[13], x[14])
+	}
+	for i := 0; i < 16; i++ {
+		binary.LittleEndian.PutUint32(s.buf[4*i:], x[i]+s.state[i])
+	}
+	s.bufUsed = 0
+	s.state[8]++
+	if s.state[8] == 0 {
+		s.state[9]++
+	}
+}
+
+// XORKeyStream implements cipher.Stream.
+func (s *Salsa20) XORKeyStream(dst, src []byte) {
+	if len(dst) < len(src) {
+		panic("sscrypto: salsa20 output smaller than input")
+	}
+	for len(src) > 0 {
+		if s.bufUsed == 64 {
+			s.block()
+		}
+		n := len(src)
+		if avail := 64 - s.bufUsed; n > avail {
+			n = avail
+		}
+		for i := 0; i < n; i++ {
+			dst[i] = src[i] ^ s.buf[s.bufUsed+i]
+		}
+		s.bufUsed += n
+		dst = dst[n:]
+		src = src[n:]
+	}
+}

@@ -1,0 +1,83 @@
+package sscrypto
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestSalsa20ECRYPTVector checks the keystream against ECRYPT Set 1
+// vector #0 for Salsa20/20 with a 256-bit key (key = 0x80 then zeros,
+// zero nonce).
+func TestSalsa20ECRYPTVector(t *testing.T) {
+	key := make([]byte, 32)
+	key[0] = 0x80
+	s, err := NewSalsa20(key, make([]byte, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, 64)
+	s.XORKeyStream(out, make([]byte, 64))
+	want := unhex(t, "e3be8fdd8beca2e3ea8ef9475b29a6e7"+
+		"003951e1097a5c38d23b7a5fad9f6844"+
+		"b22c97559e2723c7cbbd3fe4fc8d9a07"+
+		"44652a83e72a9c461876af4d7ef1a117")
+	if !bytes.Equal(out, want) {
+		t.Errorf("keystream mismatch:\n got %x\nwant %x", out, want)
+	}
+}
+
+func TestSalsa20RoundTrip(t *testing.T) {
+	key := make([]byte, 32)
+	nonce := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	for i := range key {
+		key[i] = byte(i)
+	}
+	msg := make([]byte, 300)
+	for i := range msg {
+		msg[i] = byte(i * 3)
+	}
+	enc, _ := NewSalsa20(key, nonce)
+	dec, _ := NewSalsa20(key, nonce)
+	ct := make([]byte, len(msg))
+	pt := make([]byte, len(msg))
+	enc.XORKeyStream(ct, msg)
+	dec.XORKeyStream(pt, ct)
+	if !bytes.Equal(pt, msg) {
+		t.Error("round trip failed")
+	}
+	if bytes.Equal(ct, msg) {
+		t.Error("ciphertext equals plaintext")
+	}
+}
+
+func TestSalsa20BadParams(t *testing.T) {
+	if _, err := NewSalsa20(make([]byte, 16), make([]byte, 8)); err == nil {
+		t.Error("short key accepted")
+	}
+	if _, err := NewSalsa20(make([]byte, 32), make([]byte, 12)); err == nil {
+		t.Error("wrong nonce size accepted")
+	}
+}
+
+// TestSalsa20Streaming checks piecewise encryption matches whole-message.
+func TestSalsa20Streaming(t *testing.T) {
+	key := make([]byte, 32)
+	nonce := make([]byte, 8)
+	msg := make([]byte, 257)
+	whole, _ := NewSalsa20(key, nonce)
+	want := make([]byte, len(msg))
+	whole.XORKeyStream(want, msg)
+
+	pieces, _ := NewSalsa20(key, nonce)
+	got := make([]byte, len(msg))
+	for i := 0; i < len(msg); i += 13 {
+		end := i + 13
+		if end > len(msg) {
+			end = len(msg)
+		}
+		pieces.XORKeyStream(got[i:end], msg[i:end])
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("piecewise keystream differs")
+	}
+}

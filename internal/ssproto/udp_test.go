@@ -1,0 +1,99 @@
+package ssproto
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"sslab/internal/socks"
+	"sslab/internal/sscrypto"
+)
+
+func TestUDPPackUnpackAllMethods(t *testing.T) {
+	target, _ := socks.ParseAddr("8.8.8.8:53")
+	payload := []byte("\x12\x34\x01\x00dns query bytes")
+	for _, method := range sscrypto.Methods() {
+		spec, _ := sscrypto.Lookup(method)
+		key := spec.Key("udp-pw")
+		pkt, err := PackUDP(spec, key, target, payload)
+		if err != nil {
+			t.Fatalf("%s: pack: %v", method, err)
+		}
+		gotAddr, gotPayload, err := UnpackUDP(spec, key, pkt)
+		if err != nil {
+			t.Fatalf("%s: unpack: %v", method, err)
+		}
+		if gotAddr.String() != target.String() {
+			t.Errorf("%s: target %v", method, gotAddr)
+		}
+		if !bytes.Equal(gotPayload, payload) {
+			t.Errorf("%s: payload corrupted", method)
+		}
+	}
+}
+
+// TestUDPFreshSaltPerPacket: two packs of the same datagram must differ
+// entirely (fresh IV/salt each time).
+func TestUDPFreshSaltPerPacket(t *testing.T) {
+	spec, _ := sscrypto.Lookup("aes-256-gcm")
+	key := spec.Key("udp-pw")
+	target, _ := socks.ParseAddr("1.1.1.1:53")
+	a, _ := PackUDP(spec, key, target, []byte("q"))
+	b, _ := PackUDP(spec, key, target, []byte("q"))
+	if bytes.Equal(a, b) {
+		t.Fatal("identical packets; IV/salt reuse")
+	}
+	if bytes.Equal(a[:spec.SaltSize()], b[:spec.SaltSize()]) {
+		t.Fatal("salt reused")
+	}
+}
+
+func TestUDPUnpackErrors(t *testing.T) {
+	spec, _ := sscrypto.Lookup("chacha20-ietf-poly1305")
+	key := spec.Key("udp-pw")
+
+	// Too short.
+	if _, _, err := UnpackUDP(spec, key, make([]byte, spec.SaltSize())); !errors.Is(err, ErrUDPPacket) {
+		t.Error("short packet accepted")
+	}
+	// Random bytes: authentication failure.
+	junk := make([]byte, 200)
+	for i := range junk {
+		junk[i] = byte(i * 11)
+	}
+	if _, _, err := UnpackUDP(spec, key, junk); !errors.Is(err, ErrUDPPacket) {
+		t.Error("unauthenticated packet accepted")
+	}
+	// Tampered packet.
+	target, _ := socks.ParseAddr("9.9.9.9:53")
+	pkt, _ := PackUDP(spec, key, target, []byte("payload"))
+	pkt[len(pkt)-1] ^= 1
+	if _, _, err := UnpackUDP(spec, key, pkt); !errors.Is(err, ErrUDPPacket) {
+		t.Error("tampered packet accepted")
+	}
+	// Wrong key.
+	pkt2, _ := PackUDP(spec, key, target, []byte("payload"))
+	other := spec.Key("different")
+	if _, _, err := UnpackUDP(spec, other, pkt2); !errors.Is(err, ErrUDPPacket) {
+		t.Error("wrong-key packet accepted")
+	}
+}
+
+// TestUDPStreamNoAuth documents that stream-cipher UDP has no integrity:
+// a tampered packet decrypts to garbage rather than failing, unless the
+// target spec happens to break.
+func TestUDPStreamNoAuth(t *testing.T) {
+	spec, _ := sscrypto.Lookup("aes-256-ctr")
+	key := spec.Key("udp-pw")
+	target, _ := socks.ParseAddr("8.8.4.4:53")
+	pkt, _ := PackUDP(spec, key, target, []byte("data"))
+	// Flip a payload bit (past IV + spec).
+	pkt[len(pkt)-1] ^= 0x01
+	_, payload, err := UnpackUDP(spec, key, pkt)
+	if err != nil {
+		t.Skip("tamper happened to corrupt the target spec")
+	}
+	if bytes.Equal(payload, []byte("data")) {
+		t.Error("payload unchanged after tamper")
+	}
+}

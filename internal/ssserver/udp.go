@@ -1,0 +1,109 @@
+package ssserver
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"sslab/internal/socks"
+	"sslab/internal/ssproto"
+)
+
+// udpSessionTimeout evicts idle NAT entries.
+const udpSessionTimeout = 60 * time.Second
+
+// udpNAT maps a client address to its outbound socket.
+type udpNAT struct {
+	mu       sync.Mutex
+	sessions map[string]*udpSession
+}
+
+type udpSession struct {
+	remote   net.PacketConn
+	lastSeen time.Time
+}
+
+// ServeUDP relays Shadowsocks UDP datagrams on pc until it is closed:
+// client packets are decrypted and forwarded to their embedded targets;
+// replies are encrypted back to the client with the reply's source as the
+// embedded address, per the specification.
+func (s *Server) ServeUDP(pc net.PacketConn) error {
+	nat := &udpNAT{sessions: map[string]*udpSession{}}
+	defer nat.closeAll()
+	buf := make([]byte, 64*1024)
+	for {
+		n, clientAddr, err := pc.ReadFrom(buf)
+		if err != nil {
+			return err
+		}
+		target, payload, err := ssproto.UnpackUDP(s.spec, s.key, buf[:n])
+		if err != nil {
+			s.Stats.AuthErrors.Add(1)
+			continue // UDP has no connection to reset; drop silently
+		}
+		sess, fresh, err := nat.session(clientAddr.String())
+		if err != nil {
+			continue
+		}
+		if fresh {
+			s.wg.Add(1)
+			go func(sess *udpSession, clientAddr net.Addr) {
+				defer s.wg.Done()
+				s.udpReturnPath(pc, sess, clientAddr)
+			}(sess, clientAddr)
+		}
+		raddr, err := net.ResolveUDPAddr("udp", target.String())
+		if err != nil {
+			continue
+		}
+		sess.remote.WriteTo(payload, raddr)
+	}
+}
+
+// session finds or creates the NAT entry for a client.
+func (n *udpNAT) session(client string) (*udpSession, bool, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if sess, ok := n.sessions[client]; ok {
+		sess.lastSeen = time.Now()
+		return sess, false, nil
+	}
+	remote, err := net.ListenPacket("udp", ":0")
+	if err != nil {
+		return nil, false, err
+	}
+	sess := &udpSession{remote: remote, lastSeen: time.Now()}
+	n.sessions[client] = sess
+	return sess, true, nil
+}
+
+func (n *udpNAT) closeAll() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, s := range n.sessions {
+		s.remote.Close()
+	}
+}
+
+// udpReturnPath pumps replies from the session's outbound socket back to
+// the client, encrypted, until the session idles out.
+func (s *Server) udpReturnPath(pc net.PacketConn, sess *udpSession, clientAddr net.Addr) {
+	buf := make([]byte, 64*1024)
+	for {
+		sess.remote.SetReadDeadline(time.Now().Add(udpSessionTimeout))
+		n, from, err := sess.remote.ReadFrom(buf)
+		if err != nil {
+			sess.remote.Close()
+			return
+		}
+		src, err := socks.ParseAddr(from.String())
+		if err != nil {
+			continue
+		}
+		pkt, err := ssproto.PackUDP(s.spec, s.key, src, buf[:n])
+		if err != nil {
+			continue
+		}
+		pc.WriteTo(pkt, clientAddr)
+	}
+}

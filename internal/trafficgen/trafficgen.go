@@ -1,0 +1,152 @@
+// Package trafficgen synthesizes the client workloads of the paper's
+// experiments: curl-style HTTP/HTTPS fetch loops (§3.1's Shadowsocks-libev
+// setup) and Firefox-style browsing of Alexa-ranked sites (§3.1's
+// OutlineVPN setup). What the GFW's detector sees is the length and
+// entropy of the first data-carrying wire packet, so the generator
+// produces realistic plaintext first flights and converts them to wire
+// form for a given cipher spec.
+package trafficgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"sslab/internal/socks"
+	"sslab/internal/sscrypto"
+)
+
+// Workload identifies a client behaviour pattern.
+type Workload int
+
+const (
+	// CurlHTTP fetches plain HTTP (http://example.com in the paper).
+	CurlHTTP Workload = iota
+	// CurlHTTPS fetches HTTPS (https://www.wikipedia.org, https://gfw.report),
+	// whose first flight is a TLS ClientHello.
+	CurlHTTPS
+	// BrowseAlexa emulates Firefox browsing a censored subset of the
+	// Alexa top sites: a mix of TLS handshakes with varied SNI lengths.
+	BrowseAlexa
+	// CurlLoop reproduces the paper's exact client driver: each fetch
+	// picks one of https://www.wikipedia.org, http://example.com, and
+	// https://gfw.report.
+	CurlLoop
+)
+
+// sites is a stand-in for the Alexa-subset target list.
+var sites = []string{
+	"www.wikipedia.org", "example.com", "gfw.report", "www.google.com",
+	"twitter.com", "www.youtube.com", "www.facebook.com", "github.com",
+	"news.ycombinator.com", "www.nytimes.com", "www.bbc.co.uk",
+	"en.wikipedia.org", "www.reddit.com", "duckduckgo.com",
+}
+
+// Generator produces first flights deterministically from a seed.
+type Generator struct {
+	rng *rand.Rand
+}
+
+// New returns a Generator.
+func New(seed int64) *Generator {
+	return &Generator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// curlSites are the three targets §3.1's curl loops fetched.
+var curlSites = []string{"https://www.wikipedia.org", "http://example.com", "https://gfw.report"}
+
+// Target returns a host:port a client would visit under the workload.
+func (g *Generator) Target(w Workload) string {
+	switch w {
+	case CurlHTTP:
+		return sites[g.rng.Intn(len(sites))] + ":80"
+	case CurlLoop:
+		site := curlSites[g.rng.Intn(len(curlSites))]
+		if scheme, rest, _ := strings.Cut(site, "://"); scheme == "http" {
+			return rest + ":80"
+		} else {
+			return rest + ":443"
+		}
+	default:
+		return sites[g.rng.Intn(len(sites))] + ":443"
+	}
+}
+
+// PlaintextFirstFlight builds the plaintext a Shadowsocks client sends in
+// its first packet: the SOCKS-style target specification followed by the
+// first application bytes (an HTTP request or a TLS ClientHello).
+func (g *Generator) PlaintextFirstFlight(w Workload) []byte {
+	target := g.Target(w)
+	addr, err := socks.ParseAddr(target)
+	if err != nil {
+		panic(err) // targets above are all well-formed
+	}
+	out := addr.Append(nil)
+	if addr.Port == 80 {
+		out = append(out, g.httpGET(addr.Host)...)
+	} else {
+		out = append(out, g.clientHello(addr.Host)...)
+	}
+	return out
+}
+
+// httpGET builds a curl-like request.
+func (g *Generator) httpGET(host string) []byte {
+	paths := []string{"/", "/index.html", "/wiki/Main_Page", "/search?q=weather", "/static/app.js"}
+	return []byte(fmt.Sprintf(
+		"GET %s HTTP/1.1\r\nHost: %s\r\nUser-Agent: curl/7.%d.0\r\nAccept: */*\r\n\r\n",
+		paths[g.rng.Intn(len(paths))], host, 50+g.rng.Intn(20)))
+}
+
+// clientHello builds a TLS-ClientHello-shaped first flight: a 5-byte
+// record header and a body whose length distribution (session ticket, key
+// shares, padding) matches modern browsers (~250–600 bytes) and whose
+// byte-level structure matches a real hello: about a third genuinely
+// random (client random, session id, key share) and the rest structural —
+// extension framing, cipher-suite ids, zero padding, and the plaintext
+// SNI. The resulting per-byte entropy of ≈5–6 bits is what lets the GFW's
+// entropy feature keep direct TLS below fully encrypted protocols.
+func (g *Generator) clientHello(host string) []byte {
+	body := 220 + g.rng.Intn(360)
+	rec := make([]byte, 5+body)
+	rec[0] = 0x16 // handshake
+	rec[1], rec[2] = 0x03, 0x01
+	rec[3], rec[4] = byte(body>>8), byte(body)
+
+	b := rec[5:]
+	nRand := len(b) / 3 // client random + session id + X25519 key share
+	g.rng.Read(b[:nRand])
+	// Structural bytes: type/length framing, GREASE, suites, padding.
+	structural := []byte{
+		0x00, 0x00, 0x00, 0x00, 0x01, 0x02, 0x03, 0x13, 0x13, 0xc0,
+		0x2f, 0x30, 0xff, 0x01, 0x0a, 0x16, 0x17, 0x18, 0x00, 0x1d,
+	}
+	for i := nRand; i < len(b); i++ {
+		b[i] = structural[g.rng.Intn(len(structural))]
+	}
+	copy(b[nRand+4:], host) // plaintext SNI
+	return rec
+}
+
+// WireFirstPacket converts a plaintext first flight to the wire bytes a
+// Shadowsocks connection of the given cipher would produce. Because
+// Shadowsocks ciphertext is computationally indistinguishable from random
+// bytes, the simulator represents it as random bytes of the correct
+// length: IV + payload for stream ciphers, salt + sealed length + sealed
+// payload for AEAD.
+func (g *Generator) WireFirstPacket(spec sscrypto.Spec, plaintext []byte) []byte {
+	var n int
+	if spec.Kind == sscrypto.Stream {
+		n = spec.IVSize + len(plaintext)
+	} else {
+		n = spec.SaltSize() + 2 + 16 + len(plaintext) + 16
+	}
+	out := make([]byte, n)
+	g.rng.Read(out)
+	return out
+}
+
+// FirstWirePacket is a convenience combining the two steps.
+func (g *Generator) FirstWirePacket(spec sscrypto.Spec, w Workload) []byte {
+	return g.WireFirstPacket(spec, g.PlaintextFirstFlight(w))
+}

@@ -1,0 +1,195 @@
+// Package sslab is a from-scratch Go reproduction of "How China Detects
+// and Blocks Shadowsocks" (IMC 2020): a complete Shadowsocks protocol
+// stack (both the stream-cipher and AEAD constructions), behavioural
+// emulators of the server implementations the paper studied, the §5.1
+// prober simulator, and a calibrated behavioural model of the Great
+// Firewall's passive detector, staged active-probing infrastructure, and
+// blocking module — all wired to a deterministic discrete-event network
+// simulator so every table and figure in the paper can be regenerated
+// offline.
+//
+// This root package is the stable facade: it aliases the library's main
+// types so downstream users interact with one import. The implementation
+// lives in internal/ packages; see DESIGN.md for the system inventory and
+// EXPERIMENTS.md for paper-versus-measured results.
+//
+// Quick start (run a real proxy):
+//
+//	srv, _ := sslab.ListenServer("127.0.0.1:8388", sslab.ServerConfig{
+//	    Method: "chacha20-ietf-poly1305", Password: "secret",
+//	})
+//	cli, _ := sslab.NewClient(sslab.ClientConfig{
+//	    Server: srv.Addr().String(), Method: "chacha20-ietf-poly1305", Password: "secret",
+//	})
+//	conn, _ := cli.Dial("example.com:80")
+//
+// Reproduce the paper (see also cmd/gfwsim):
+//
+//	report, _ := sslab.RunShadowsocksExperiment(sslab.ShadowsocksConfig{Seed: 1})
+//	fmt.Print(report.Render())
+package sslab
+
+import (
+	"sslab/internal/experiment"
+	"sslab/internal/gfw"
+	"sslab/internal/netsim"
+	"sslab/internal/probesim"
+	"sslab/internal/reaction"
+	"sslab/internal/ssclient"
+	"sslab/internal/ssserver"
+)
+
+// Version identifies the library release.
+const Version = "1.0.0"
+
+// Server-side API.
+type (
+	// ServerConfig configures a runnable Shadowsocks server.
+	ServerConfig = ssserver.Config
+	// Server is a running Shadowsocks proxy server with a behaviour profile.
+	Server = ssserver.Server
+	// Profile selects which implementation's behaviour a server emulates.
+	Profile = reaction.Profile
+)
+
+// Client-side API.
+type (
+	// ClientConfig configures a Shadowsocks client.
+	ClientConfig = ssclient.Config
+	// Client tunnels connections through a Shadowsocks server.
+	Client = ssclient.Client
+)
+
+// Censor model and simulation API.
+type (
+	// GFW is the Great Firewall behavioural model.
+	GFW = gfw.GFW
+	// GFWConfig tunes the censor model.
+	GFWConfig = gfw.Config
+	// Sim is the discrete-event virtual clock.
+	Sim = netsim.Sim
+	// Network is the simulated network the GFW sits on.
+	Network = netsim.Network
+)
+
+// Prober-simulator API (§5.1).
+type (
+	// TCPProber probes live servers over TCP.
+	TCPProber = probesim.TCPProber
+	// ReactionMatrix is one Figure 10 row.
+	ReactionMatrix = probesim.Matrix
+)
+
+// Experiment harness API.
+type (
+	// ShadowsocksConfig scales the §3.1 experiment.
+	ShadowsocksConfig = experiment.ShadowsocksConfig
+	// SinkConfig scales the §4.1 random-data experiments.
+	SinkConfig = experiment.SinkConfig
+	// BrdgrdConfig scales the §7.1 shaping experiment.
+	BrdgrdConfig = experiment.BrdgrdConfig
+	// MatrixConfig scales the §5.1 reaction-matrix experiment.
+	MatrixConfig = experiment.MatrixConfig
+	// BlockingConfig scales the §6 blocking-module experiment.
+	BlockingConfig = experiment.BlockingConfig
+	// FPStudyConfig scales the §9 false-positive extension study.
+	FPStudyConfig = experiment.FPStudyConfig
+	// BanStudyConfig scales the §3.3 prober-IP-banning study.
+	BanStudyConfig = experiment.BanStudyConfig
+	// MimicStudyConfig scales the TLS-framing (§8 mechanism) study.
+	MimicStudyConfig = experiment.MimicStudyConfig
+	// ProbeCostConfig scales the §5.2.2 probes-to-confirmation study.
+	ProbeCostConfig = experiment.ProbeCostConfig
+)
+
+// Implementation profiles the paper studied, plus the hardened reference.
+var (
+	LibevOld   = reaction.LibevOld
+	LibevNew   = reaction.LibevNew
+	Outline106 = reaction.Outline106
+	Outline107 = reaction.Outline107
+	Outline110 = reaction.Outline110
+	Hardened   = reaction.Hardened
+	SSPython   = reaction.SSPython
+	SSR        = reaction.SSR
+)
+
+// NewServer builds a server without binding a socket.
+func NewServer(cfg ServerConfig) (*Server, error) { return ssserver.New(cfg) }
+
+// ListenServer binds addr and serves in the background.
+func ListenServer(addr string, cfg ServerConfig) (*Server, error) {
+	return ssserver.Listen(addr, cfg)
+}
+
+// NewClient builds a Shadowsocks client.
+func NewClient(cfg ClientConfig) (*Client, error) { return ssclient.New(cfg) }
+
+// NewSim creates a virtual-clock simulator starting at the paper's epoch.
+func NewSim() *Sim { return netsim.NewSim() }
+
+// NewNetwork creates a simulated network on sim.
+func NewNetwork(sim *Sim) *Network { return netsim.NewNetwork(sim) }
+
+// NewGFW attaches a censor model to a simulated network; the caller must
+// register it with net.AddMiddlebox.
+func NewGFW(sim *Sim, net *Network, cfg GFWConfig) *GFW { return gfw.New(sim, net, cfg) }
+
+// RunShadowsocksExperiment reproduces §3.1 (Figures 2–7, Tables 2–3).
+func RunShadowsocksExperiment(cfg ShadowsocksConfig) (*experiment.ShadowsocksReport, error) {
+	return experiment.ShadowsocksExperiment(cfg)
+}
+
+// RunSinkExperiments reproduces §4.1 (Table 4, Figures 8–9).
+func RunSinkExperiments(cfg SinkConfig) (*experiment.SinkReport, error) {
+	return experiment.SinkExperiments(cfg)
+}
+
+// RunBrdgrdExperiment reproduces §7.1 (Figure 11).
+func RunBrdgrdExperiment(cfg BrdgrdConfig) (*experiment.BrdgrdReport, error) {
+	return experiment.BrdgrdExperiment(cfg)
+}
+
+// RunReactionMatrices reproduces §5 (Figures 10a/10b, Table 5).
+func RunReactionMatrices(cfg MatrixConfig) (*experiment.MatrixReport, error) {
+	return experiment.ReactionMatrices(cfg)
+}
+
+// RunBlockingExperiment reproduces §6 (which implementations get blocked,
+// by port or by IP, and what clients observe).
+func RunBlockingExperiment(cfg BlockingConfig) (*experiment.BlockingReport, error) {
+	return experiment.BlockingExperiment(cfg)
+}
+
+// RunFPStudy runs the §9 extension study: probing exposure of different
+// traffic classes under the length+entropy detector.
+func RunFPStudy(cfg FPStudyConfig) (*experiment.FPStudyReport, error) {
+	return experiment.FPStudy(cfg)
+}
+
+// RunBanStudy quantifies §3.3's claim that banning prober IPs cannot stop
+// active probing.
+func RunBanStudy(cfg BanStudyConfig) (*experiment.BanStudyReport, error) {
+	return experiment.BanStudy(cfg)
+}
+
+// RunMimicStudy compares plain and TLS-framed deployments under censors
+// with and without a TLS whitelist (the §8 application-fronting mechanism).
+func RunMimicStudy(cfg MimicStudyConfig) (*experiment.MimicStudyReport, error) {
+	return experiment.MimicStudy(cfg)
+}
+
+// RunProbeCost measures probes-to-confirmation per implementation —
+// §5.2.2's Tor-versus-Shadowsocks observation as a sequential test.
+func RunProbeCost(cfg ProbeCostConfig) (*experiment.ProbeCostReport, error) {
+	return experiment.ProbeCost(cfg)
+}
+
+// Probe sends one payload to a live server and classifies the reaction
+// the way the GFW would.
+func Probe(addr string, payload []byte) (reaction.Reaction, error) {
+	p := &probesim.TCPProber{Addr: addr}
+	return p.Probe(payload, timeZero)
+}
+
+var timeZero = netsim.Epoch
