@@ -1,0 +1,153 @@
+// Package analysistest runs an analyzer over a directory of golden Go
+// files and checks its diagnostics against expectations embedded in the
+// files, mirroring golang.org/x/tools/go/analysis/analysistest:
+//
+//	rand.Intn(6) // want `global math/rand`
+//
+// Each `// want "re"` (or backquoted) comment asserts that the analyzer
+// reports a diagnostic on that line whose message matches the regular
+// expression. Every reported diagnostic must be matched by a want and
+// vice versa. Lines carrying a //sslab:allow-<name> directive assert the
+// opposite — the framework must swallow the finding — so each analyzer's
+// testdata demonstrates both a caught violation and an accepted
+// suppression.
+package analysistest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"sslab/internal/analysis"
+)
+
+// wantRe extracts the expectation pattern from a // want comment.
+var wantRe = regexp.MustCompile("//\\s*want\\s+(?:\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`)")
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// Run loads dir as a single package, applies a, and reports mismatches
+// between the diagnostics and the // want comments as test failures.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading testdata: %v", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		t.Fatalf("no .go files in %s", dir)
+	}
+
+	var files []*ast.File
+	var wants []*expectation
+	for _, name := range names {
+		path := filepath.Join(dir, name)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", path, err)
+		}
+		files = append(files, f)
+		wants = append(wants, expectationsOf(t, fset, f)...)
+	}
+
+	pkg, tinfo, err := typecheck(fset, files)
+	if err != nil {
+		t.Fatalf("type-checking testdata: %v", err)
+	}
+
+	diags, err := analysis.RunPackage(a, &analysis.Package{
+		Path: "testdata/" + files[0].Name.Name,
+		Dir:  dir,
+		Fset: fset, Files: files,
+		Types: pkg, Info: tinfo,
+	})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// typecheck checks the testdata files as one package. Testdata may
+// import the standard library (resolved from source, no export data or
+// network needed) but not module-internal packages — analyzer fixtures
+// stay self-contained.
+func typecheck(fset *token.FileSet, files []*ast.File) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	cfg := &types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := cfg.Check("testdata/"+files[0].Name.Name, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}
+
+// expectationsOf collects the // want comments of one file.
+func expectationsOf(t *testing.T, fset *token.FileSet, f *ast.File) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := wantRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			pat := m[1]
+			if pat == "" {
+				pat = m[2]
+			}
+			re, err := regexp.Compile(pat)
+			if err != nil {
+				t.Fatalf("%s: bad want pattern %q: %v", fset.Position(c.Pos()), pat, err)
+			}
+			pos := fset.Position(c.Pos())
+			out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re})
+		}
+	}
+	return out
+}

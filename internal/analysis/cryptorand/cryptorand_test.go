@@ -1,0 +1,12 @@
+package cryptorand_test
+
+import (
+	"testing"
+
+	"sslab/internal/analysis/analysistest"
+	"sslab/internal/analysis/cryptorand"
+)
+
+func TestCryptorand(t *testing.T) {
+	analysistest.Run(t, "testdata", cryptorand.Analyzer)
+}

@@ -1,0 +1,20 @@
+// Fixtures for the cryptorand analyzer: importing math/rand in a
+// crypto-bearing package is a violation regardless of how it is used.
+package fixtures
+
+import (
+	crand "crypto/rand"
+	"math/rand" // want `math/rand is not cryptographically secure`
+)
+
+func salt(n int) ([]byte, error) {
+	b := make([]byte, n)
+	if _, err := crand.Read(b); err != nil { // ok: crypto/rand
+		return nil, err
+	}
+	return b, nil
+}
+
+func paddingLen(rng *rand.Rand) int {
+	return rng.Intn(32)
+}

@@ -1,0 +1,11 @@
+// A justified exception: length jitter that never touches key material
+// may keep math/rand behind a suppression with rationale.
+package fixtures
+
+import (
+	mrand "math/rand" //sslab:allow-cryptorand traffic-shape jitter only; keys/salts use crypto/rand
+)
+
+func jitter(rng *mrand.Rand) int {
+	return 1 + rng.Intn(16)
+}

@@ -1,0 +1,12 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"sslab/internal/analysis/analysistest"
+	"sslab/internal/analysis/detrand"
+)
+
+func TestDetrand(t *testing.T) {
+	analysistest.Run(t, "testdata", detrand.Analyzer)
+}

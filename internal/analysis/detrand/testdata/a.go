@@ -1,0 +1,38 @@
+// Fixtures for the detrand analyzer: global math/rand state and
+// wall-clock seeds are violations; injected seeded PRNGs are clean.
+package fixtures
+
+import (
+	"math/rand"
+	"time"
+)
+
+func globalState() int {
+	return rand.Intn(6) // want `global math/rand\.Intn .* injected, seeded \*rand\.Rand`
+}
+
+func globalFloat() float64 {
+	rand.Shuffle(3, func(i, j int) {}) // want `global math/rand\.Shuffle`
+	return rand.Float64()              // want `global math/rand\.Float64`
+}
+
+func wallClockSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `seeded from the wall clock`
+}
+
+func seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // ok: explicit seed
+}
+
+func injected(rng *rand.Rand) int {
+	return rng.Intn(6) // ok: method on an injected *rand.Rand
+}
+
+func allowedJitter() float64 {
+	//sslab:allow-detrand startup jitter outside any replayed experiment path
+	return rand.Float64()
+}
+
+func allowedInline() int {
+	return rand.Intn(2) //sslab:allow-detrand coin flip in throwaway debug helper
+}

@@ -1,0 +1,23 @@
+// Renamed imports and shadowing: the analyzer resolves identifiers
+// through type information, so a renamed math/rand still trips it and a
+// local variable called rand does not.
+package fixtures
+
+import mrand "math/rand"
+
+type fakeRand struct{}
+
+func (fakeRand) Intn(n int) int { return 0 }
+
+func renamedImport() int64 {
+	return mrand.Int63() // want `global math/rand\.Int63`
+}
+
+func shadowed() int {
+	rand := fakeRand{}
+	return rand.Intn(3) // ok: local value shadows nothing relevant
+}
+
+func renamedSeeded(seed int64) *mrand.Rand {
+	return mrand.New(mrand.NewSource(seed)) // ok
+}

@@ -1,0 +1,12 @@
+package errpropagate_test
+
+import (
+	"testing"
+
+	"sslab/internal/analysis/analysistest"
+	"sslab/internal/analysis/errpropagate"
+)
+
+func TestErrpropagate(t *testing.T) {
+	analysistest.Run(t, "testdata", errpropagate.Analyzer)
+}

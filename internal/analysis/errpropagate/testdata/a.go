@@ -1,0 +1,49 @@
+// Fixtures for the errpropagate analyzer: write errors discarded in
+// statement position or assigned to blanks are violations; handled
+// errors and infallible writers (hash.Hash, bytes.Buffer) are clean.
+package fixtures
+
+import (
+	"bytes"
+	"crypto/sha1"
+)
+
+// conn stands in for a net.Conn-like packet-path writer.
+type conn struct{}
+
+func (conn) Write(p []byte) (int, error)                { return len(p), nil }
+func (conn) WriteTo(p []byte, addr string) (int, error) { return len(p), nil }
+func (conn) Close() error                               { return nil }
+
+func dropped(c conn, p []byte) {
+	c.Write(p)        // want `error from \(conn\)\.Write is dropped on the packet path`
+	c.WriteTo(p, "x") // want `error from \(conn\)\.WriteTo is dropped`
+}
+
+func blankAssigned(c conn, p []byte) {
+	_, _ = c.Write(p) // want `error from \(conn\)\.Write is dropped`
+}
+
+func handled(c conn, p []byte) error {
+	if _, err := c.Write(p); err != nil {
+		return err
+	}
+	n, err := c.WriteTo(p, "x") // ok: error is bound
+	_ = n
+	return err
+}
+
+func infallible(p []byte) {
+	h := sha1.New()
+	h.Write(p) // ok: hash.Hash writes never fail
+	var b bytes.Buffer
+	b.Write(p) // ok: bytes.Buffer writes never fail
+}
+
+func closers(c conn) {
+	c.Close() // ok: Close is not a packet-path write
+}
+
+func allowedBestEffort(c conn, p []byte) {
+	c.Write(p) //sslab:allow-errpropagate best-effort error reply; the caller fails the handshake anyway
+}

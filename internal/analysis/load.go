@@ -1,0 +1,331 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// Path is the package's import path (for analyzer scoping). An
+	// external test package (package foo_test) is loaded as its own
+	// Package with the same Path as the package under test.
+	Path string
+	// Dir is the package directory on disk.
+	Dir  string
+	Fset *token.FileSet
+	// Files are the non-test syntax trees; TestFiles the _test.go trees
+	// type-checked together with them.
+	Files     []*ast.File
+	TestFiles []*ast.File
+	Types     *types.Package
+	Info      *types.Info
+}
+
+// Loader resolves package patterns against one module, parses and
+// type-checks them with full test files, and type-checks dependencies
+// (module-internal ones from source on disk, everything else — i.e. the
+// standard library, the module's only external dependency surface —
+// through go/importer's source importer, which needs no network and no
+// pre-compiled export data).
+type Loader struct {
+	fset    *token.FileSet
+	modRoot string
+	modPath string
+	std     types.Importer
+	deps    map[string]*types.Package
+	loading map[string]bool
+}
+
+// NewLoader creates a Loader for the module rooted at modRoot (the
+// directory containing go.mod).
+func NewLoader(modRoot string) (*Loader, error) {
+	abs, err := filepath.Abs(modRoot)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		fset:    fset,
+		modRoot: abs,
+		modPath: modPath,
+		std:     importer.ForCompiler(fset, "source", nil),
+		deps:    map[string]*types.Package{},
+		loading: map[string]bool{},
+	}, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("%s: no module directive", gomod)
+}
+
+// Import implements types.Importer. Module-internal packages are
+// type-checked from source (without test files); all other paths are
+// delegated to the standard library's source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == l.modPath || strings.HasPrefix(path, l.modPath+"/") {
+		return l.importDep(path)
+	}
+	return l.std.Import(path)
+}
+
+func (l *Loader) importDep(path string) (*types.Package, error) {
+	if pkg, ok := l.deps[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := filepath.Join(l.modRoot, filepath.FromSlash(strings.TrimPrefix(path, l.modPath)))
+	files, _, _, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	pkg, _, err := l.check(path, files, nil)
+	if err != nil {
+		return nil, err
+	}
+	l.deps[path] = pkg
+	return pkg, nil
+}
+
+// parseDir parses the .go files of one directory into non-test,
+// in-package test, and external test file groups.
+func (l *Loader) parseDir(dir string) (files, inTests, extTests []*ast.File, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasPrefix(e.Name(), ".") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		switch {
+		case !strings.HasSuffix(name, "_test.go"):
+			files = append(files, f)
+		case strings.HasSuffix(f.Name.Name, "_test"):
+			extTests = append(extTests, f)
+		default:
+			inTests = append(inTests, f)
+		}
+	}
+	return files, inTests, extTests, nil
+}
+
+// check type-checks one package's files (plus optional in-package test
+// files) and returns the types.Package and filled-in Info.
+func (l *Loader) check(path string, files, testFiles []*ast.File) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var errs []error
+	cfg := &types.Config{
+		Importer: l,
+		Error:    func(err error) { errs = append(errs, err) },
+	}
+	all := append(append([]*ast.File(nil), files...), testFiles...)
+	pkg, _ := cfg.Check(path, l.fset, all, info)
+	if len(errs) > 0 {
+		msg := make([]string, 0, 4)
+		for i, e := range errs {
+			if i == 3 {
+				msg = append(msg, fmt.Sprintf("... and %d more", len(errs)-3))
+				break
+			}
+			msg = append(msg, e.Error())
+		}
+		return nil, nil, fmt.Errorf("type-checking %s:\n\t%s", path, strings.Join(msg, "\n\t"))
+	}
+	return pkg, info, nil
+}
+
+// Load resolves patterns ("./...", "dir/...", a directory, or an import
+// path within the module) into fully loaded Packages. External test
+// packages come back as additional Package entries sharing the tested
+// package's Path.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dirSet := map[string]bool{}
+	var dirs []string
+	addDir := func(dir string) {
+		if !dirSet[dir] {
+			dirSet[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			walked, err := l.walk(l.modRoot)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range walked {
+				addDir(d)
+			}
+		case strings.HasSuffix(pat, "/..."):
+			root := l.resolveDir(strings.TrimSuffix(pat, "/..."))
+			walked, err := l.walk(root)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range walked {
+				addDir(d)
+			}
+		default:
+			addDir(l.resolveDir(pat))
+		}
+	}
+
+	var pkgs []*Package
+	for _, dir := range dirs {
+		loaded, err := l.loadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, loaded...)
+	}
+	return pkgs, nil
+}
+
+// resolveDir maps a pattern element to a directory: an absolute path, a
+// module-relative path, or an import path under the module.
+func (l *Loader) resolveDir(pat string) string {
+	if filepath.IsAbs(pat) {
+		return filepath.Clean(pat)
+	}
+	if pat == l.modPath || strings.HasPrefix(pat, l.modPath+"/") {
+		return filepath.Join(l.modRoot, filepath.FromSlash(strings.TrimPrefix(pat, l.modPath)))
+	}
+	return filepath.Join(l.modRoot, filepath.FromSlash(strings.TrimPrefix(pat, "./")))
+}
+
+// walk collects every directory under root that contains .go files,
+// skipping testdata, hidden, and VCS directories.
+func (l *Loader) walk(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".go") && !strings.HasPrefix(d.Name(), ".") {
+			dirs = append(dirs, filepath.Dir(path))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	uniq := dirs[:0]
+	for i, d := range dirs {
+		if i == 0 || dirs[i-1] != d {
+			uniq = append(uniq, d)
+		}
+	}
+	return uniq, nil
+}
+
+// importPathFor maps a directory inside the module to its import path.
+func (l *Loader) importPathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(l.modRoot, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("%s is outside module %s", dir, l.modRoot)
+	}
+	if rel == "." {
+		return l.modPath, nil
+	}
+	return l.modPath + "/" + filepath.ToSlash(rel), nil
+}
+
+// loadDir loads the package in one directory: the primary package
+// (type-checked together with its in-package test files) and, if
+// present, the external test package.
+func (l *Loader) loadDir(dir string) ([]*Package, error) {
+	path, err := l.importPathFor(dir)
+	if err != nil {
+		return nil, err
+	}
+	files, inTests, extTests, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 && len(inTests) == 0 && len(extTests) == 0 {
+		return nil, nil
+	}
+	var pkgs []*Package
+	if len(files) > 0 || len(inTests) > 0 {
+		tpkg, info, err := l.check(path, files, inTests)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, &Package{
+			Path: path, Dir: dir, Fset: l.fset,
+			Files: files, TestFiles: inTests,
+			Types: tpkg, Info: info,
+		})
+	}
+	if len(extTests) > 0 {
+		tpkg, info, err := l.check(path+"_test", nil, extTests)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, &Package{
+			Path: path, Dir: dir, Fset: l.fset,
+			TestFiles: extTests,
+			Types:     tpkg, Info: info,
+		})
+	}
+	return pkgs, nil
+}

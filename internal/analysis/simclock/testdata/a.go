@@ -1,0 +1,45 @@
+// Fixtures for the simclock analyzer: wall-clock reads and real-time
+// waits are violations; virtual-clock calls and time arithmetic are
+// clean.
+package fixtures
+
+import "time"
+
+// sim stands in for netsim.Sim (testdata cannot import module packages).
+type sim struct{ now time.Time }
+
+func (s *sim) Now() time.Time                      { return s.now }
+func (s *sim) After(d time.Duration, fn func())    { fn() }
+func (s *sim) At(t time.Time, fn func())           { fn() }
+func (s *sim) RunUntil(t time.Time)                { s.now = t }
+func (s *sim) schedule(d time.Duration, fn func()) { s.After(d, fn) }
+
+func wallClock() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+func realSleep() {
+	time.Sleep(10 * time.Millisecond) // want `time\.Sleep blocks on real time`
+}
+
+func realTimer() <-chan time.Time {
+	return time.After(time.Minute) // want `time\.After fires on real time`
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since reads the wall clock`
+}
+
+func virtualClock(s *sim) time.Time {
+	s.After(5*time.Second, func() {}) // ok: simulated delay
+	return s.Now()                    // ok: virtual clock
+}
+
+func arithmetic(t time.Time) time.Time {
+	return t.Add(3 * time.Hour) // ok: pure time arithmetic
+}
+
+func allowedBanner() time.Time {
+	//sslab:allow-simclock report header timestamp, outside the event loop
+	return time.Now()
+}

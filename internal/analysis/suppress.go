@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// allowRe matches one suppression directive. The directive must start
+// the comment text exactly (no space after //, mirroring //go:
+// directives) and should be followed by a short justification:
+//
+//	//sslab:allow-simclock real sleep: this package drives a live socket
+var allowRe = regexp.MustCompile(`^//sslab:allow-([a-z0-9-]+)(?:\s|$)`)
+
+// suppressionSet records, per analyzer name, the file:line positions at
+// which findings are waived. A directive on line N waives findings from
+// the named analyzer on line N (trailing comment) and on line N+1
+// (directive on its own line above the offending statement).
+type suppressionSet map[string]map[string]map[int]bool // analyzer -> filename -> line
+
+// suppressions scans the comments of files for //sslab:allow-* directives.
+func suppressions(fset *token.FileSet, files []*ast.File) suppressionSet {
+	set := suppressionSet{}
+	add := func(analyzer, filename string, line int) {
+		byFile, ok := set[analyzer]
+		if !ok {
+			byFile = map[string]map[int]bool{}
+			set[analyzer] = byFile
+		}
+		lines, ok := byFile[filename]
+		if !ok {
+			lines = map[int]bool{}
+			byFile[filename] = lines
+		}
+		lines[line] = true
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				// A /* */ group can hold several lines; handle each.
+				for i, text := range strings.Split(c.Text, "\n") {
+					text = strings.TrimSpace(text)
+					m := allowRe.FindStringSubmatch(text)
+					if m == nil {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					add(m[1], pos.Filename, pos.Line+i)
+				}
+			}
+		}
+	}
+	return set
+}
+
+// allows reports whether a diagnostic from the named analyzer at pos is
+// waived by a directive on the same line or the line above.
+func (s suppressionSet) allows(analyzer string, pos token.Position) bool {
+	byFile, ok := s[analyzer]
+	if !ok {
+		return false
+	}
+	lines, ok := byFile[pos.Filename]
+	if !ok {
+		return false
+	}
+	return lines[pos.Line] || lines[pos.Line-1]
+}

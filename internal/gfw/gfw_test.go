@@ -295,7 +295,7 @@ func TestStagedProbing(t *testing.T) {
 // observed support (161–999) even though triggers span 1–1000, and the
 // mod-16 stair-step appears.
 func TestReplayLengthSupport(t *testing.T) {
-	g, _, _ := runCampaign(t, sinkHost, 120000, Config{Seed: 3})
+	g, _, _ := runCampaign(t, sinkHost, 60000, Config{Seed: 3})
 	replays := 0
 	badLen := 0
 	rem := map[int]int{}
@@ -330,7 +330,7 @@ func TestReplayLengthSupport(t *testing.T) {
 // TestReplayDelayPipeline verifies end-to-end replay delays match the
 // Figure 7 bands and that GeneratedAt rides along for replay probes.
 func TestReplayDelayPipeline(t *testing.T) {
-	g, _, _ := runCampaign(t, sinkHost, 120000, Config{Seed: 4})
+	g, _, _ := runCampaign(t, sinkHost, 60000, Config{Seed: 4})
 	all, first := g.Log.ReplayDelays()
 	if all.Len() < 300 {
 		t.Fatalf("only %d replay delays", all.Len())

@@ -1,0 +1,79 @@
+package socks
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode throws arbitrary bytes at the target-specification parser —
+// the exact code path a Shadowsocks server runs on attacker-controlled
+// decrypted plaintext (and the path whose error behaviour the GFW
+// fingerprints, §5.2.1). Checked invariants: no panic, consumed bytes
+// stay within bounds, and every successful parse survives an
+// Append→Decode round trip bit-identically.
+func FuzzDecode(f *testing.F) {
+	// One well-formed seed per address type, plus truncations and junk.
+	f.Add([]byte{AtypIPv4, 1, 2, 3, 4, 0x1f, 0x90}, false)
+	f.Add([]byte{AtypDomain, 11, 'e', 'x', 'a', 'm', 'p', 'l', 'e', '.', 'c', 'o', 'm', 0, 80}, false)
+	f.Add([]byte{AtypIPv6, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 0x01, 0xbb}, false)
+	f.Add([]byte{AtypIPv4, 1, 2}, false)        // truncated
+	f.Add([]byte{AtypDomain, 0, 80}, false)     // zero-length hostname
+	f.Add([]byte{0x41, 1, 2, 3, 4, 5, 6}, true) // masked: 0x41&0x0f == AtypIPv4
+	f.Add([]byte{0xff, 0xff}, true)
+	f.Add([]byte{}, false)
+
+	f.Fuzz(func(t *testing.T, b []byte, mask bool) {
+		addr, n, err := Decode(b, mask)
+		if err != nil {
+			if n != 0 {
+				t.Fatalf("Decode(%x, %v) failed with %v but consumed %d bytes", b, mask, err, n)
+			}
+			return
+		}
+		if n <= 0 || n > len(b) {
+			t.Fatalf("Decode(%x, %v) consumed %d of %d bytes", b, mask, n, len(b))
+		}
+		// Round trip: re-serializing the parsed address and re-parsing it
+		// must reproduce the same address and consume the whole encoding.
+		enc := addr.Append(nil)
+		back, m, err := Decode(enc, false)
+		if err != nil {
+			t.Fatalf("re-decoding %x (from %x): %v", enc, b, err)
+		}
+		if m != len(enc) {
+			t.Fatalf("re-decode consumed %d of %d bytes", m, len(enc))
+		}
+		if back.String() != addr.String() || back.Type != addr.Type {
+			t.Fatalf("round trip changed address: %v -> %v", addr, back)
+		}
+	})
+}
+
+// FuzzReadAddr checks the streaming parser against the in-memory one:
+// whatever ReadAddr accepts from a byte stream, Decode must accept with
+// the same result, and vice versa for the consumed prefix.
+func FuzzReadAddr(f *testing.F) {
+	f.Add([]byte{AtypIPv4, 1, 2, 3, 4, 0x1f, 0x90})
+	f.Add([]byte{AtypDomain, 3, 'a', 'b', 'c', 0, 80, 0xde, 0xad})
+	f.Add([]byte{AtypIPv6})
+	f.Add([]byte{0x00, 0x01, 0x02})
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		addr, err := ReadAddr(bytes.NewReader(b))
+		dAddr, _, dErr := Decode(b, false)
+		if err != nil {
+			// The stream parser may fail with an IO error where Decode
+			// reports ErrIncomplete; both must agree a full parse failed.
+			if dErr == nil {
+				t.Fatalf("ReadAddr(%x) = %v but Decode succeeded with %v", b, err, dAddr)
+			}
+			return
+		}
+		if dErr != nil {
+			t.Fatalf("ReadAddr(%x) = %v but Decode failed with %v", b, addr, dErr)
+		}
+		if addr.String() != dAddr.String() || addr.Type != dAddr.Type {
+			t.Fatalf("stream/in-memory parsers disagree: %v vs %v", addr, dAddr)
+		}
+	})
+}

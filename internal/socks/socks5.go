@@ -42,6 +42,7 @@ func Handshake(conn net.Conn) (Addr, error) {
 		return Addr{}, fmt.Errorf("socks5: reading request: %w", err)
 	}
 	if req[1] != cmdConnect {
+		//sslab:allow-errpropagate best-effort error reply; the handshake fails below regardless
 		conn.Write([]byte{socks5Version, replyCmdUnsupport, 0, AtypIPv4, 0, 0, 0, 0, 0, 0})
 		return Addr{}, fmt.Errorf("socks5: unsupported command %#x", req[1])
 	}

@@ -50,6 +50,7 @@ type Stats struct {
 	Proxied        atomic.Int64 // connections that reached the relay stage
 	AuthErrors     atomic.Int64 // authentication / parse failures
 	ReplaysBlocked atomic.Int64 // connections rejected by the replay filter
+	RelayErrors    atomic.Int64 // failed writes on the relay path
 }
 
 // Server is a running Shadowsocks server.

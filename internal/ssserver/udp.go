@@ -56,7 +56,9 @@ func (s *Server) ServeUDP(pc net.PacketConn) error {
 		if err != nil {
 			continue
 		}
-		sess.remote.WriteTo(payload, raddr)
+		if _, err := sess.remote.WriteTo(payload, raddr); err != nil {
+			s.Stats.RelayErrors.Add(1)
+		}
 	}
 }
 
@@ -104,6 +106,8 @@ func (s *Server) udpReturnPath(pc net.PacketConn, sess *udpSession, clientAddr n
 		if err != nil {
 			continue
 		}
-		pc.WriteTo(pkt, clientAddr)
+		if _, err := pc.WriteTo(pkt, clientAddr); err != nil {
+			s.Stats.RelayErrors.Add(1)
+		}
 	}
 }

@@ -1,0 +1,40 @@
+package trafficgen
+
+import (
+	"bytes"
+	"testing"
+
+	"sslab/internal/sscrypto"
+)
+
+// TestBitIdenticalGeneration: same seed, same byte stream — the client
+// workload half of the determinism invariant (the GFW half is covered
+// in internal/gfw).
+func TestBitIdenticalGeneration(t *testing.T) {
+	spec, err := sscrypto.Lookup("aes-256-cfb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	workloads := []Workload{CurlHTTP, CurlHTTPS, BrowseAlexa, CurlLoop}
+	a, b := New(7), New(7)
+	for i := 0; i < 2000; i++ {
+		w := workloads[i%len(workloads)]
+		pa, pb := a.FirstWirePacket(spec, w), b.FirstWirePacket(spec, w)
+		if !bytes.Equal(pa, pb) {
+			t.Fatalf("iteration %d (workload %d): wire packets diverged", i, w)
+		}
+	}
+}
+
+func TestSeedChangesGeneration(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if bytes.Equal(a.PlaintextFirstFlight(BrowseAlexa), b.PlaintextFirstFlight(BrowseAlexa)) {
+			same++
+		}
+	}
+	if same == 100 {
+		t.Fatal("different seeds produced identical flights; seed not threaded through")
+	}
+}
