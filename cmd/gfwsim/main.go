@@ -5,162 +5,100 @@
 //
 // Usage:
 //
-//	gfwsim [-seed N] [-full] [-experiment all|table1|shadowsocks|sink|brdgrd|matrix] [-dump FILE]
+//	gfwsim [-seed N] [-full] [-experiment all|NAME] [-json FILE] [-dump FILE]
+//
+// -json appends one campaign.ShardResult per experiment to FILE — the
+// same JSONL schema sslab-sweep checkpoints — so single runs and sweep
+// shards are interchangeable records.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
+	"sslab/internal/campaign"
 	"sslab/internal/experiment"
-	"sslab/internal/gfw"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("gfwsim: ")
 	var (
-		seed = flag.Int64("seed", 1, "random seed (all results are deterministic per seed)")
-		full = flag.Bool("full", false, "run at the paper's scale instead of the fast default")
-		exp  = flag.String("experiment", "all", "which experiment to run: all, table1, shadowsocks, sink, brdgrd, blocking, matrix, fpstudy, banstudy, mimicstudy, probecost")
-		dump = flag.String("dump", "", "write the Shadowsocks experiment's probe capture to FILE as JSONL")
+		seed     = flag.Int64("seed", 1, "random seed (all results are deterministic per seed)")
+		full     = flag.Bool("full", false, "run at the paper's scale instead of the fast default")
+		exp      = flag.String("experiment", "all", "which experiment to run: all, or one of "+strings.Join(experiment.Names(), ", "))
+		jsonOut  = flag.String("json", "", "append each experiment's report to FILE as JSONL (sslab-sweep shard schema)")
+		dumpFile = flag.String("dump", "", "write the Shadowsocks experiment's probe capture to FILE as JSONL")
 	)
 	flag.Parse()
 
-	run := func(name string) bool { return *exp == "all" || *exp == name }
-
-	if run("table1") {
-		fmt.Println(experiment.Table1().Render())
+	// Validate -experiment before any simulation runs: a typo should
+	// fail in milliseconds, not after a four-month virtual sweep.
+	if *exp != "all" {
+		if _, ok := experiment.Lookup(*exp); !ok {
+			log.Fatalf("unknown experiment %q; valid names: all, %s", *exp, strings.Join(experiment.Names(), ", "))
+		}
 	}
 
-	if run("shadowsocks") {
-		cfg := experiment.ShadowsocksConfig{Seed: *seed}
-		if !*full {
-			cfg.Days = 20
-			cfg.ConnsPerPairPerHour = 80
-			cfg.GFW = gfw.Config{PoolSize: 6000}
-		}
-		r, err := experiment.ShadowsocksExperiment(cfg)
+	var jsonl *os.File
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
 		if err != nil {
-			log.Fatalf("shadowsocks experiment: %v", err)
+			log.Fatalf("creating %s: %v", *jsonOut, err)
 		}
-		fmt.Println(r.Render())
-		if *dump != "" {
-			f, err := os.Create(*dump)
+		defer f.Close()
+		jsonl = f
+	}
+
+	records := 0
+	for _, r := range experiment.Runners() {
+		if *exp != "all" && *exp != r.Name() {
+			continue
+		}
+		rep, err := r.Run(r.Config(*seed, *full))
+		if err != nil {
+			log.Fatalf("%s experiment: %v", r.Name(), err)
+		}
+		fmt.Println(rep.Render())
+
+		if ss, ok := rep.(*experiment.ShadowsocksReport); ok && *dumpFile != "" {
+			f, err := os.Create(*dumpFile)
 			if err != nil {
-				log.Fatalf("creating %s: %v", *dump, err)
+				log.Fatalf("creating %s: %v", *dumpFile, err)
 			}
-			if err := r.Log.WriteJSON(f); err != nil {
+			if err := ss.Log.WriteJSON(f); err != nil {
 				log.Fatalf("writing capture: %v", err)
 			}
 			f.Close()
-			fmt.Printf("wrote %d probe records to %s\n\n", r.Log.Len(), *dump)
+			fmt.Printf("wrote %d probe records to %s\n\n", ss.Log.Len(), *dumpFile)
+		}
+
+		if jsonl != nil {
+			raw, err := json.Marshal(rep)
+			if err != nil {
+				log.Fatalf("%s report: %v", r.Name(), err)
+			}
+			row := campaign.ShardResult{
+				Index:      records,
+				Experiment: r.Name(),
+				Seed:       *seed,
+				Report:     raw,
+			}
+			line, err := json.Marshal(row)
+			if err != nil {
+				log.Fatalf("%s record: %v", r.Name(), err)
+			}
+			if _, err := jsonl.Write(append(line, '\n')); err != nil {
+				log.Fatalf("writing %s: %v", *jsonOut, err)
+			}
+			records++
 		}
 	}
-
-	if run("sink") {
-		cfg := experiment.SinkConfig{Seed: *seed}
-		if !*full {
-			cfg.Hours = 80
-			cfg.ConnsPerHour = 2000
-			cfg.GFW = gfw.Config{PoolSize: 4000}
-		}
-		r, err := experiment.SinkExperiments(cfg)
-		if err != nil {
-			log.Fatalf("sink experiments: %v", err)
-		}
-		fmt.Println(r.Render())
-	}
-
-	if run("brdgrd") {
-		cfg := experiment.BrdgrdConfig{Seed: *seed}
-		if !*full {
-			cfg.Hours = 200
-			cfg.OnWindows = [][2]int{{60, 110}, {150, 180}}
-			cfg.GFW = gfw.Config{PoolSize: 4000}
-		}
-		r, err := experiment.BrdgrdExperiment(cfg)
-		if err != nil {
-			log.Fatalf("brdgrd experiment: %v", err)
-		}
-		fmt.Println(r.Render())
-	}
-
-	if run("blocking") {
-		cfg := experiment.BlockingConfig{Seed: *seed}
-		if !*full {
-			cfg.Days = 20
-			cfg.GFW = gfw.Config{PoolSize: 4000}
-		}
-		r, err := experiment.BlockingExperiment(cfg)
-		if err != nil {
-			log.Fatalf("blocking experiment: %v", err)
-		}
-		fmt.Println(r.Render())
-	}
-
-	if run("fpstudy") {
-		cfg := experiment.FPStudyConfig{Seed: *seed}
-		if !*full {
-			cfg.FlowsPerKind = 40000
-			cfg.GFW = gfw.Config{PoolSize: 3000}
-		}
-		r, err := experiment.FPStudy(cfg)
-		if err != nil {
-			log.Fatalf("fp study: %v", err)
-		}
-		fmt.Println(r.Render())
-	}
-
-	if run("banstudy") {
-		cfg := experiment.BanStudyConfig{Seed: *seed}
-		if !*full {
-			cfg.Triggers = 120000
-			cfg.GFW = gfw.Config{PoolSize: 4000}
-		}
-		r, err := experiment.BanStudy(cfg)
-		if err != nil {
-			log.Fatalf("ban study: %v", err)
-		}
-		fmt.Println(r.Render())
-	}
-
-	if run("mimicstudy") {
-		cfg := experiment.MimicStudyConfig{Seed: *seed}
-		if !*full {
-			cfg.Triggers = 60000
-			cfg.GFW = gfw.Config{PoolSize: 3000}
-		}
-		r, err := experiment.MimicStudy(cfg)
-		if err != nil {
-			log.Fatalf("mimic study: %v", err)
-		}
-		fmt.Println(r.Render())
-	}
-
-	if run("probecost") {
-		cfg := experiment.ProbeCostConfig{Seed: *seed, Trials: 100}
-		if !*full {
-			cfg.Trials = 50
-		}
-		r, err := experiment.ProbeCost(cfg)
-		if err != nil {
-			log.Fatalf("probe cost: %v", err)
-		}
-		fmt.Println(r.Render())
-	}
-
-	if run("matrix") {
-		cfg := experiment.MatrixConfig{Seed: *seed, Trials: 200}
-		if !*full {
-			cfg.Trials = 60
-		}
-		r, err := experiment.ReactionMatrices(cfg)
-		if err != nil {
-			log.Fatalf("reaction matrices: %v", err)
-		}
-		fmt.Println(r.Render())
+	if jsonl != nil {
+		fmt.Printf("wrote %d report records to %s\n", records, *jsonOut)
 	}
 }

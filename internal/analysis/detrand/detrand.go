@@ -23,6 +23,7 @@ var Analyzer = &analysis.Analyzer{
 		"injected, seeded *rand.Rand",
 	Scope: []string{
 		"sslab/internal/bloom",
+		"sslab/internal/campaign",
 		"sslab/internal/capture",
 		"sslab/internal/defense",
 		"sslab/internal/entropy",
@@ -33,6 +34,7 @@ var Analyzer = &analysis.Analyzer{
 		"sslab/internal/probesim",
 		"sslab/internal/reaction",
 		"sslab/internal/replay",
+		"sslab/internal/seedfork",
 		"sslab/internal/stats",
 		"sslab/internal/trafficgen",
 	},

@@ -37,6 +37,7 @@ var Analyzer = &analysis.Analyzer{
 		"simulator packages; use the injected netsim.Sim virtual clock " +
 		"(sim.Now, sim.After, sim.At)",
 	Scope: []string{
+		"sslab/internal/campaign",
 		"sslab/internal/experiment",
 		"sslab/internal/gfw",
 		"sslab/internal/netsim",

@@ -1,0 +1,122 @@
+package campaign
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Checkpoint layout inside the sweep's -out directory:
+//
+//	spec.json    the canonical Spec — resume refuses a mismatched spec
+//	shards.jsonl one ShardResult per line, appended as shards finish
+//	merged.json  the deterministic aggregate, written when the sweep ends
+//
+// The JSONL file's line order reflects completion order and is the one
+// scheduling-dependent artifact; everything derived from it is sorted
+// by shard index first. A truncated final line (the process died
+// mid-write) is detected and dropped on load, and that shard reruns.
+const (
+	specFile   = "spec.json"
+	shardsFile = "shards.jsonl"
+	mergedFile = "merged.json"
+)
+
+// checkpoint appends finished shards to shards.jsonl. Callers
+// serialize access (the engine holds its results mutex while
+// appending), so no internal locking.
+type checkpoint struct {
+	f      *os.File
+	loaded []ShardResult
+}
+
+// openCheckpoint prepares dir for a sweep of spec. With resume=false
+// the directory must not already contain shard results; with
+// resume=true an existing spec.json must match spec exactly, and any
+// parseable shard lines are returned for reuse.
+func openCheckpoint(dir string, spec Spec, resume bool) (*checkpoint, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("campaign: checkpoint dir: %v", err)
+	}
+	canon, err := json.MarshalIndent(spec, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	canon = append(canon, '\n')
+
+	shardsPath := filepath.Join(dir, shardsFile)
+	specPath := filepath.Join(dir, specFile)
+	c := &checkpoint{}
+	if existing, err := os.ReadFile(specPath); err == nil {
+		if !resume {
+			return nil, fmt.Errorf("campaign: %s already holds a sweep; pass -resume to continue it or use a fresh -out directory", dir)
+		}
+		if !bytes.Equal(existing, canon) {
+			return nil, fmt.Errorf("campaign: %s was checkpointed with a different spec; refusing to resume", dir)
+		}
+		c.loaded, err = loadShards(shardsPath)
+		if err != nil {
+			return nil, err
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	if err := os.WriteFile(specPath, canon, 0o644); err != nil {
+		return nil, err
+	}
+	c.f, err = os.OpenFile(shardsPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// loadShards reads every complete, parseable result line. Lines that
+// fail to parse — a truncated tail from a killed run — are skipped, so
+// their shards simply recompute.
+func loadShards(path string) ([]ShardResult, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []ShardResult
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<28)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var r ShardResult
+		if err := json.Unmarshal(line, &r); err != nil {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out, sc.Err()
+}
+
+// append writes one finished shard. Each line is a single Write, so a
+// crash leaves at most one truncated line for loadShards to drop.
+func (c *checkpoint) append(r ShardResult) error {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	_, err = c.f.Write(append(b, '\n'))
+	return err
+}
+
+func (c *checkpoint) close() error {
+	if c.f == nil {
+		return nil
+	}
+	return c.f.Close()
+}

@@ -1,0 +1,408 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+
+	"sslab/internal/seedfork"
+	"sslab/internal/stats"
+)
+
+// The merge walks each shard's report JSON generically, so any
+// registered experiment aggregates without per-report code:
+//
+//   - numeric leaves (and booleans, as 0/1) become metric samples,
+//     keyed by their dotted path; across a group's seeds they reduce
+//     to mean ± bootstrap 95% CI, min and max;
+//   - subtrees shaped like stats.Histogram ({"Counts":…,"Total":…})
+//     union bin-by-bin;
+//   - subtrees shaped like stats.CDF ({"Samples":[…]}) — and long
+//     numeric arrays, which are sample vectors in everything but name —
+//     union into one CDF, summarized by quantiles;
+//   - strings are identifiers, not measurements, and are skipped.
+//
+// Every reduction is associative and commutative (see internal/stats),
+// inputs are ordered by shard index, and CI resampling is seeded from
+// (group, metric) via seedfork — so the merged report is byte-identical
+// for any worker count, scheduling order, or checkpoint/resume split.
+
+// MergedReport is the sweep aggregate, one Group per grid point.
+type MergedReport struct {
+	Schema     string  `json:"schema"`
+	Experiment string  `json:"experiment"`
+	Full       bool    `json:"full,omitempty"`
+	Seeds      []int64 `json:"seeds"`
+	Base       []Param `json:"base,omitempty"`
+	Shards     int     `json:"shards"`
+	Failed     int     `json:"failed"`
+	Groups     []Group `json:"groups"`
+}
+
+// Schema identifies the merged-report wire format.
+const Schema = "sslab-sweep/v1"
+
+// Group aggregates one grid point across the seed list.
+type Group struct {
+	GridPoint  []Param      `json:"grid_point,omitempty"`
+	Seeds      []int64      `json:"seeds"`
+	Errors     []ShardError `json:"errors,omitempty"`
+	Metrics    []Metric     `json:"metrics,omitempty"`
+	Histograms []HistMetric `json:"histograms,omitempty"`
+	CDFs       []CDFMetric  `json:"cdfs,omitempty"`
+}
+
+// ShardError is a failed shard's row: the sweep survives, the report
+// says so.
+type ShardError struct {
+	Seed int64  `json:"seed"`
+	Err  string `json:"err"`
+}
+
+// Metric is one numeric leaf reduced over the group's seeds.
+type Metric struct {
+	Name string  `json:"name"`
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+	// CILo/CIHi bound the mean's 95% percentile-bootstrap interval.
+	CILo float64 `json:"ci95_lo"`
+	CIHi float64 `json:"ci95_hi"`
+}
+
+// HistMetric is a histogram-valued leaf unioned over the group.
+type HistMetric struct {
+	Name   string      `json:"name"`
+	Total  int         `json:"total"`
+	Counts map[int]int `json:"counts"`
+}
+
+// CDFMetric summarizes a sample-vector leaf unioned over the group.
+type CDFMetric struct {
+	Name string  `json:"name"`
+	N    int     `json:"n"`
+	Min  float64 `json:"min"`
+	P25  float64 `json:"p25"`
+	P50  float64 `json:"p50"`
+	P75  float64 `json:"p75"`
+	P90  float64 `json:"p90"`
+	Max  float64 `json:"max"`
+}
+
+// MarshalIndent renders the canonical byte form (what lands in
+// merged.json and what the determinism tests compare).
+func (m *MergedReport) MarshalIndent() ([]byte, error) {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// bootstrapResamples balances CI stability against merge cost; 2000
+// replicates hold the 95% bounds to ~1% of the interval width.
+const bootstrapResamples = 2000
+
+// merge reduces the (index-ordered) shard results into the aggregate.
+func merge(spec Spec, results []*ShardResult) (*MergedReport, error) {
+	out := &MergedReport{
+		Schema:     Schema,
+		Experiment: spec.Experiment,
+		Full:       spec.Full,
+		Seeds:      spec.Seeds,
+		Base:       spec.Base,
+		Shards:     len(results),
+	}
+	points := spec.gridPoints()
+	perGroup := len(spec.Seeds)
+	for gi, gp := range points {
+		g := Group{GridPoint: gp}
+		var flats []*flatReport
+		for si := 0; si < perGroup; si++ {
+			r := results[gi*perGroup+si]
+			if r == nil {
+				return nil, fmt.Errorf("campaign: shard %d missing after run", gi*perGroup+si)
+			}
+			if r.Err != "" {
+				out.Failed++
+				g.Errors = append(g.Errors, ShardError{Seed: r.Seed, Err: r.Err})
+				continue
+			}
+			f, err := flattenReport(r.Report)
+			if err != nil {
+				return nil, fmt.Errorf("campaign: shard %d report: %v", r.Index, err)
+			}
+			g.Seeds = append(g.Seeds, r.Seed)
+			flats = append(flats, f)
+		}
+		if g.Seeds == nil {
+			g.Seeds = []int64{}
+		}
+		g.Metrics = reduceMetrics(gi, flats)
+		g.Histograms = reduceHists(flats)
+		g.CDFs = reduceCDFs(flats)
+		out.Groups = append(out.Groups, g)
+	}
+	return out, nil
+}
+
+// flatReport is one shard's report decomposed into mergeable leaves.
+type flatReport struct {
+	nums  map[string]float64
+	hists map[string]*stats.Histogram
+	cdfs  map[string]*stats.CDF
+}
+
+// longArray is the length at which a pure-numeric JSON array is
+// treated as a sample vector (CDF union) rather than per-index
+// metrics; per-hour series like BrdgrdReport.ProbesPerHour would
+// otherwise explode into hundreds of one-sample metrics.
+const longArray = 32
+
+func flattenReport(raw json.RawMessage) (*flatReport, error) {
+	var v any
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return nil, err
+	}
+	f := &flatReport{
+		nums:  map[string]float64{},
+		hists: map[string]*stats.Histogram{},
+		cdfs:  map[string]*stats.CDF{},
+	}
+	flatten("", v, f)
+	return f, nil
+}
+
+func flatten(prefix string, v any, f *flatReport) {
+	switch t := v.(type) {
+	case map[string]any:
+		if samples, ok := cdfShape(t); ok {
+			f.cdfs[prefix] = stats.NewCDF(samples)
+			return
+		}
+		if h, ok := histShape(t); ok {
+			f.hists[prefix] = h
+			return
+		}
+		keys := make([]string, 0, len(t))
+		for k := range t {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			flatten(join(prefix, k), t[k], f)
+		}
+	case []any:
+		if nums, ok := numericArray(t); ok && len(nums) > longArray {
+			f.cdfs[prefix] = stats.NewCDF(nums)
+			return
+		}
+		labels := rowLabels(t)
+		for i, e := range t {
+			key := strconv.Itoa(i)
+			if labels != nil {
+				key = labels[i]
+			}
+			flatten(join(prefix, key), e, f)
+		}
+	case float64:
+		f.nums[prefix] = t
+	case bool:
+		if t {
+			f.nums[prefix] = 1
+		} else {
+			f.nums[prefix] = 0
+		}
+	}
+}
+
+// rowLabels keys an array of objects by their "Name" field when every
+// element has a distinct non-empty one — so report tables like
+// probecost's Results produce "Results.tor.MeanProbes" rather than
+// "Results.3.MeanProbes", and stay aligned across shards even if a
+// config change reorders or drops rows.
+func rowLabels(arr []any) []string {
+	if len(arr) == 0 {
+		return nil
+	}
+	out := make([]string, len(arr))
+	seen := map[string]bool{}
+	for i, e := range arr {
+		m, ok := e.(map[string]any)
+		if !ok {
+			return nil
+		}
+		name, ok := m["Name"].(string)
+		if !ok || name == "" || seen[name] {
+			return nil
+		}
+		seen[name] = true
+		out[i] = name
+	}
+	return out
+}
+
+func join(prefix, key string) string {
+	if prefix == "" {
+		return key
+	}
+	return prefix + "." + key
+}
+
+// cdfShape recognizes stats.CDF's wire form: {"Samples":[numbers]}.
+func cdfShape(m map[string]any) ([]float64, bool) {
+	if len(m) != 1 {
+		return nil, false
+	}
+	arr, ok := m["Samples"].([]any)
+	if !ok {
+		if m["Samples"] == nil {
+			_, present := m["Samples"]
+			return nil, present
+		}
+		return nil, false
+	}
+	return numericArray(arr)
+}
+
+// histShape recognizes stats.Histogram's wire form:
+// {"Counts":{"8":12,…},"Total":n} with integer bins and counts.
+func histShape(m map[string]any) (*stats.Histogram, bool) {
+	if len(m) != 2 {
+		return nil, false
+	}
+	counts, ok := m["Counts"].(map[string]any)
+	if !ok {
+		return nil, false
+	}
+	total, ok := m["Total"].(float64)
+	if !ok {
+		return nil, false
+	}
+	h := stats.NewHistogram()
+	for k, v := range counts {
+		bin, err := strconv.Atoi(k)
+		if err != nil {
+			return nil, false
+		}
+		c, ok := v.(float64)
+		if !ok || c != float64(int(c)) {
+			return nil, false
+		}
+		h.Counts[bin] += int(c)
+	}
+	h.Total = int(total)
+	return h, true
+}
+
+func numericArray(arr []any) ([]float64, bool) {
+	out := make([]float64, len(arr))
+	for i, e := range arr {
+		n, ok := e.(float64)
+		if !ok {
+			return nil, false
+		}
+		out[i] = n
+	}
+	return out, true
+}
+
+// reduceMetrics reduces every numeric leaf present in any shard. The
+// CI PRNG is seeded from (group index, metric name) only, so the
+// interval — like everything else here — is scheduling-independent.
+func reduceMetrics(groupIndex int, flats []*flatReport) []Metric {
+	names := map[string]bool{}
+	for _, f := range flats {
+		for n := range f.nums {
+			names[n] = true
+		}
+	}
+	ordered := make([]string, 0, len(names))
+	for n := range names {
+		ordered = append(ordered, n)
+	}
+	sort.Strings(ordered)
+
+	var out []Metric
+	for _, name := range ordered {
+		var xs []float64
+		for _, f := range flats {
+			if x, ok := f.nums[name]; ok {
+				xs = append(xs, x)
+			}
+		}
+		m := Metric{Name: name, N: len(xs), Mean: stats.Mean(xs), Min: xs[0], Max: xs[0]}
+		for _, x := range xs {
+			if x < m.Min {
+				m.Min = x
+			}
+			if x > m.Max {
+				m.Max = x
+			}
+		}
+		rng := rand.New(rand.NewSource(seedfork.Fork(int64(groupIndex), "campaign.ci."+name)))
+		m.CILo, m.CIHi = stats.BootstrapMeanCI(xs, 0.95, bootstrapResamples, rng)
+		out = append(out, m)
+	}
+	return out
+}
+
+func reduceHists(flats []*flatReport) []HistMetric {
+	names := map[string]bool{}
+	for _, f := range flats {
+		for n := range f.hists {
+			names[n] = true
+		}
+	}
+	ordered := make([]string, 0, len(names))
+	for n := range names {
+		ordered = append(ordered, n)
+	}
+	sort.Strings(ordered)
+
+	var out []HistMetric
+	for _, name := range ordered {
+		u := stats.NewHistogram()
+		for _, f := range flats {
+			u.Merge(f.hists[name])
+		}
+		out = append(out, HistMetric{Name: name, Total: u.Total, Counts: u.Counts})
+	}
+	return out
+}
+
+func reduceCDFs(flats []*flatReport) []CDFMetric {
+	names := map[string]bool{}
+	for _, f := range flats {
+		for n := range f.cdfs {
+			names[n] = true
+		}
+	}
+	ordered := make([]string, 0, len(names))
+	for n := range names {
+		ordered = append(ordered, n)
+	}
+	sort.Strings(ordered)
+
+	var out []CDFMetric
+	for _, name := range ordered {
+		var parts []*stats.CDF
+		for _, f := range flats {
+			if c, ok := f.cdfs[name]; ok {
+				parts = append(parts, c)
+			}
+		}
+		u := stats.MergeCDFs(parts...)
+		m := CDFMetric{Name: name, N: u.Len()}
+		if u.Len() > 0 {
+			m.Min, m.Max = u.Min(), u.Max()
+			m.P25, m.P50 = u.Quantile(0.25), u.Quantile(0.5)
+			m.P75, m.P90 = u.Quantile(0.75), u.Quantile(0.9)
+		}
+		out = append(out, m)
+	}
+	return out
+}

@@ -8,6 +8,7 @@ import (
 	"sslab/internal/gfw"
 	"sslab/internal/netsim"
 	"sslab/internal/reaction"
+	"sslab/internal/seedfork"
 	"sslab/internal/sscrypto"
 	"sslab/internal/trafficgen"
 )
@@ -67,7 +68,7 @@ func BlockingExperiment(cfg BlockingConfig) (*BlockingReport, error) {
 	sim := netsim.NewSim()
 	net := netsim.NewNetwork(sim)
 	gcfg := cfg.GFW
-	gcfg.Seed = cfg.Seed
+	gcfg.Seed = seedfork.Fork(cfg.Seed, "blocking.gfw")
 	gcfg.Sensitivity = cfg.Sensitivity
 	g := gfw.New(sim, net, gcfg)
 	net.AddMiddlebox(g)
@@ -111,7 +112,7 @@ func BlockingExperiment(cfg BlockingConfig) (*BlockingReport, error) {
 	end := netsim.Epoch.Add(time.Duration(cfg.Days) * 24 * time.Hour)
 	for i, e := range entries {
 		e := e
-		tg := trafficgen.New(cfg.Seed + int64(i)*77)
+		tg := trafficgen.New(seedfork.Fork(cfg.Seed, "blocking.trafficgen", int64(i)))
 		spec, err := sscrypto.Lookup(e.method)
 		if err != nil {
 			return nil, err

@@ -9,6 +9,7 @@ import (
 	"sslab/internal/gfw"
 	"sslab/internal/netsim"
 	"sslab/internal/reaction"
+	"sslab/internal/seedfork"
 	"sslab/internal/sscrypto"
 	"sslab/internal/stats"
 	"sslab/internal/trafficgen"
@@ -74,7 +75,7 @@ func BrdgrdExperiment(cfg BrdgrdConfig) (*BrdgrdReport, error) {
 	sim := netsim.NewSim()
 	net := netsim.NewNetwork(sim)
 	gcfg := cfg.GFW
-	gcfg.Seed = cfg.Seed
+	gcfg.Seed = seedfork.Fork(cfg.Seed, "brdgrd.gfw")
 	g := gfw.New(sim, net, gcfg)
 	net.AddMiddlebox(g)
 
@@ -82,7 +83,7 @@ func BrdgrdExperiment(cfg BrdgrdConfig) (*BrdgrdReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	guard := defense.NewBrdgrd(cfg.WindowMin, cfg.WindowMax, cfg.Seed+1)
+	guard := defense.NewBrdgrd(cfg.WindowMin, cfg.WindowMax, seedfork.Fork(cfg.Seed, "brdgrd.guard"))
 	guard.SetActive(false)
 
 	shaped := netsim.Endpoint{IP: "178.62.20.1", Port: 8388}
@@ -112,8 +113,8 @@ func BrdgrdExperiment(cfg BrdgrdConfig) (*BrdgrdReport, error) {
 	}
 
 	end := netsim.Epoch.Add(time.Duration(cfg.Hours) * time.Hour)
-	tg := trafficgen.New(cfg.Seed + 2)
-	tg2 := trafficgen.New(cfg.Seed + 3)
+	tg := trafficgen.New(seedfork.Fork(cfg.Seed, "brdgrd.trafficgen.shaped"))
+	tg2 := trafficgen.New(seedfork.Fork(cfg.Seed, "brdgrd.trafficgen.control"))
 	var tick func()
 	tick = func() {
 		if sim.Now().After(end) {

@@ -9,6 +9,7 @@ import (
 	"sslab/internal/entropy"
 	"sslab/internal/gfw"
 	"sslab/internal/netsim"
+	"sslab/internal/seedfork"
 	"sslab/internal/sscrypto"
 	"sslab/internal/trafficgen"
 )
@@ -46,7 +47,7 @@ func BanStudy(cfg BanStudyConfig) (*BanStudyReport, error) {
 	sim := netsim.NewSim()
 	net := netsim.NewNetwork(sim)
 	gcfg := cfg.GFW
-	gcfg.Seed = cfg.Seed
+	gcfg.Seed = seedfork.Fork(cfg.Seed, "banstudy.gfw")
 	g := gfw.New(sim, net, gcfg)
 	net.AddMiddlebox(g)
 	server := netsim.Endpoint{IP: "178.62.60.1", Port: 443}
@@ -54,7 +55,7 @@ func BanStudy(cfg BanStudyConfig) (*BanStudyReport, error) {
 	host := &ServerHost{Sim: sim, Sink: true, seen: map[uint64]struct{}{}}
 	net.AddHost(server, host)
 
-	gen := entropy.NewGenerator(cfg.Seed + 17)
+	gen := entropy.NewGenerator(seedfork.Fork(cfg.Seed, "banstudy.entropy"))
 	sent := 0
 	var tick func()
 	tick = func() {
@@ -125,11 +126,11 @@ func MimicStudy(cfg MimicStudyConfig) (*MimicStudyReport, error) {
 	}
 	framing := defense.TLSRecordFraming{}
 
-	run := func(whitelist, framed bool, seedOff int64) (int, error) {
+	run := func(whitelist, framed bool, cell int64) (int, error) {
 		sim := netsim.NewSim()
 		net := netsim.NewNetwork(sim)
 		gcfg := cfg.GFW
-		gcfg.Seed = cfg.Seed + seedOff
+		gcfg.Seed = seedfork.Fork(cfg.Seed, "mimic.gfw", cell)
 		gcfg.TLSWhitelist = whitelist
 		g := gfw.New(sim, net, gcfg)
 		net.AddMiddlebox(g)
@@ -138,7 +139,7 @@ func MimicStudy(cfg MimicStudyConfig) (*MimicStudyReport, error) {
 		host := &ServerHost{Sim: sim, Sink: true, seen: map[uint64]struct{}{}}
 		net.AddHost(server, host)
 
-		tg := trafficgen.New(cfg.Seed + seedOff + 23)
+		tg := trafficgen.New(seedfork.Fork(cfg.Seed, "mimic.trafficgen", cell))
 		sent := 0
 		var tick func()
 		tick = func() {

@@ -8,6 +8,7 @@ import (
 	"sslab/internal/entropy"
 	"sslab/internal/gfw"
 	"sslab/internal/netsim"
+	"sslab/internal/seedfork"
 	"sslab/internal/sscrypto"
 	"sslab/internal/trafficgen"
 )
@@ -90,7 +91,7 @@ func FPStudy(cfg FPStudyConfig) (*FPStudyReport, error) {
 		sim := netsim.NewSim()
 		net := netsim.NewNetwork(sim)
 		gcfg := cfg.GFW
-		gcfg.Seed = cfg.Seed + int64(i)
+		gcfg.Seed = seedfork.Fork(cfg.Seed, "fpstudy.gfw", int64(i))
 		g := gfw.New(sim, net, gcfg)
 		net.AddMiddlebox(g)
 		server := netsim.Endpoint{IP: fmt.Sprintf("178.62.50.%d", i+1), Port: 443}
@@ -98,8 +99,8 @@ func FPStudy(cfg FPStudyConfig) (*FPStudyReport, error) {
 		host := &ServerHost{Sim: sim, Sink: true, seen: map[uint64]struct{}{}}
 		net.AddHost(server, host)
 
-		tg := trafficgen.New(cfg.Seed + int64(i)*31)
-		gen := entropy.NewGenerator(cfg.Seed + int64(i)*37)
+		tg := trafficgen.New(seedfork.Fork(cfg.Seed, "fpstudy.trafficgen", int64(i)))
+		gen := entropy.NewGenerator(seedfork.Fork(cfg.Seed, "fpstudy.entropy", int64(i)))
 		sent := 0
 		var tick func()
 		tick = func() {

@@ -6,6 +6,7 @@ import (
 
 	"sslab/internal/probesim"
 	"sslab/internal/reaction"
+	"sslab/internal/seedfork"
 	"sslab/internal/sscrypto"
 )
 
@@ -98,7 +99,7 @@ func ReactionMatrices(cfg MatrixConfig) (*MatrixReport, error) {
 		if err != nil {
 			return nil, err
 		}
-		m, err := probesim.ScanRandom(c.Profile, spec, "matrix-pw", lengths, cfg.Trials, cfg.Seed+int64(i))
+		m, err := probesim.ScanRandom(c.Profile, spec, "matrix-pw", lengths, cfg.Trials, seedfork.Fork(cfg.Seed, "matrix.stream", int64(i)))
 		if err != nil {
 			return nil, err
 		}
@@ -109,7 +110,7 @@ func ReactionMatrices(cfg MatrixConfig) (*MatrixReport, error) {
 		if err != nil {
 			return nil, err
 		}
-		m, err := probesim.ScanRandom(c.Profile, spec, "matrix-pw", lengths, cfg.Trials, cfg.Seed+100+int64(i))
+		m, err := probesim.ScanRandom(c.Profile, spec, "matrix-pw", lengths, cfg.Trials, seedfork.Fork(cfg.Seed, "matrix.aead", int64(i)))
 		if err != nil {
 			return nil, err
 		}
@@ -120,7 +121,7 @@ func ReactionMatrices(cfg MatrixConfig) (*MatrixReport, error) {
 		if err != nil {
 			return nil, err
 		}
-		rr, err := probesim.ScanReplay(c.Profile, spec, "matrix-pw", 60, cfg.Seed+200+int64(i), "93.184.216.34:443")
+		rr, err := probesim.ScanReplay(c.Profile, spec, "matrix-pw", 60, seedfork.Fork(cfg.Seed, "matrix.replay", int64(i)), "93.184.216.34:443")
 		if err != nil {
 			return nil, err
 		}

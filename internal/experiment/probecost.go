@@ -9,6 +9,7 @@ import (
 	"sslab/internal/probe"
 	"sslab/internal/probesim"
 	"sslab/internal/reaction"
+	"sslab/internal/seedfork"
 	"sslab/internal/sscrypto"
 	"sslab/internal/stats"
 )
@@ -91,7 +92,7 @@ func ProbeCost(cfg ProbeCostConfig) (*ProbeCostReport, error) {
 // torLikeCost: H1 assigns almost all mass to the distinctive handshake
 // response; the first observation decides.
 func torLikeCost(cfg ProbeCostConfig) ProbeCostResult {
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := rand.New(rand.NewSource(seedfork.Fork(cfg.Seed, "probecost.tor")))
 	total, max := 0, 0
 	for i := 0; i < cfg.Trials; i++ {
 		s := &stats.SPRT{
@@ -129,7 +130,7 @@ func ssCost(cfg ProbeCostConfig, name string, p reaction.Profile, method string)
 
 	// Estimate H1 empirically (the attacker can precompute this from a
 	// reference install, as §5.1's simulator does).
-	m, err := probesim.ScanRandom(p, spec, "cost-pw", lengths, 200, cfg.Seed+7)
+	m, err := probesim.ScanRandom(p, spec, "cost-pw", lengths, 200, seedfork.Fork(cfg.Seed, "probecost.scan."+name))
 	if err != nil {
 		return ProbeCostResult{}, err
 	}
@@ -150,7 +151,7 @@ func ssCost(cfg ProbeCostConfig, name string, p reaction.Profile, method string)
 	if err != nil {
 		return ProbeCostResult{}, err
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed + 11))
+	rng := rand.New(rand.NewSource(seedfork.Fork(cfg.Seed, "probecost.live."+name)))
 	now := time.Date(2019, 9, 29, 0, 0, 0, 0, time.UTC)
 
 	sumN, maxN, undecided := 0, 0, 0

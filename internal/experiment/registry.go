@@ -1,0 +1,209 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+
+	"sslab/internal/gfw"
+)
+
+// Report is the interface every experiment report satisfies: a
+// terminal rendering of the paper artifact(s). Reports additionally
+// marshal to JSON with exported fields only, which is what the sweep
+// engine (internal/campaign) checkpoints and reduces.
+type Report interface {
+	Render() string
+}
+
+// Runner is the uniform entry point the registry exposes for each of
+// the ten experiments, so cmd/gfwsim and the campaign engine can drive
+// any of them generically.
+type Runner interface {
+	// Name is the registry key (the -experiment flag value).
+	Name() string
+	// Config returns a pointer to a fresh config for the experiment at
+	// fast (the historical cmd/gfwsim default) or full (paper) scale,
+	// with all stochastic state derived from seed. The concrete type is
+	// a plain exported struct, so it (de)serializes via encoding/json;
+	// the campaign engine overrides fields through that round trip.
+	Config(seed int64, full bool) any
+	// Run executes the experiment on a config of the type Config
+	// returns (pointer or value — Run normalizes).
+	Run(cfg any) (Report, error)
+}
+
+// runner implements Runner for one experiment via typed closures.
+type runner[C any] struct {
+	name   string
+	config func(seed int64, full bool) C
+	run    func(cfg C) (Report, error)
+}
+
+func (r runner[C]) Name() string { return r.name }
+
+func (r runner[C]) Config(seed int64, full bool) any {
+	c := r.config(seed, full)
+	return &c
+}
+
+func (r runner[C]) Run(cfg any) (Report, error) {
+	switch c := cfg.(type) {
+	case C:
+		return r.run(c)
+	case *C:
+		return r.run(*c)
+	default:
+		return nil, fmt.Errorf("experiment %s: config type %T, want %T", r.name, cfg, new(C))
+	}
+}
+
+// Table1Config exists so Table 1 fits the Runner shape; the timeline
+// has no parameters.
+type Table1Config struct{}
+
+// runners is the registry, in cmd/gfwsim's traditional output order.
+// The fast-scale values are the long-standing `gfwsim` (no -full)
+// defaults; full scale leaves the config zeroed so each experiment's
+// withDefaults applies the paper-scale numbers.
+var runners = []Runner{
+	runner[Table1Config]{
+		name:   "table1",
+		config: func(int64, bool) Table1Config { return Table1Config{} },
+		run:    func(Table1Config) (Report, error) { return Table1(), nil },
+	},
+	runner[ShadowsocksConfig]{
+		name: "shadowsocks",
+		config: func(seed int64, full bool) ShadowsocksConfig {
+			cfg := ShadowsocksConfig{Seed: seed}
+			if !full {
+				cfg.Days = 20
+				cfg.ConnsPerPairPerHour = 80
+				cfg.GFW = gfw.Config{PoolSize: 6000}
+			}
+			return cfg
+		},
+		run: func(cfg ShadowsocksConfig) (Report, error) { return ShadowsocksExperiment(cfg) },
+	},
+	runner[SinkConfig]{
+		name: "sink",
+		config: func(seed int64, full bool) SinkConfig {
+			cfg := SinkConfig{Seed: seed}
+			if !full {
+				cfg.Hours = 80
+				cfg.ConnsPerHour = 2000
+				cfg.GFW = gfw.Config{PoolSize: 4000}
+			}
+			return cfg
+		},
+		run: func(cfg SinkConfig) (Report, error) { return SinkExperiments(cfg) },
+	},
+	runner[BrdgrdConfig]{
+		name: "brdgrd",
+		config: func(seed int64, full bool) BrdgrdConfig {
+			cfg := BrdgrdConfig{Seed: seed}
+			if !full {
+				cfg.Hours = 200
+				cfg.OnWindows = [][2]int{{60, 110}, {150, 180}}
+				cfg.GFW = gfw.Config{PoolSize: 4000}
+			}
+			return cfg
+		},
+		run: func(cfg BrdgrdConfig) (Report, error) { return BrdgrdExperiment(cfg) },
+	},
+	runner[BlockingConfig]{
+		name: "blocking",
+		config: func(seed int64, full bool) BlockingConfig {
+			cfg := BlockingConfig{Seed: seed}
+			if !full {
+				cfg.Days = 20
+				cfg.GFW = gfw.Config{PoolSize: 4000}
+			}
+			return cfg
+		},
+		run: func(cfg BlockingConfig) (Report, error) { return BlockingExperiment(cfg) },
+	},
+	runner[FPStudyConfig]{
+		name: "fpstudy",
+		config: func(seed int64, full bool) FPStudyConfig {
+			cfg := FPStudyConfig{Seed: seed}
+			if !full {
+				cfg.FlowsPerKind = 40000
+				cfg.GFW = gfw.Config{PoolSize: 3000}
+			}
+			return cfg
+		},
+		run: func(cfg FPStudyConfig) (Report, error) { return FPStudy(cfg) },
+	},
+	runner[BanStudyConfig]{
+		name: "banstudy",
+		config: func(seed int64, full bool) BanStudyConfig {
+			cfg := BanStudyConfig{Seed: seed}
+			if !full {
+				cfg.Triggers = 120000
+				cfg.GFW = gfw.Config{PoolSize: 4000}
+			}
+			return cfg
+		},
+		run: func(cfg BanStudyConfig) (Report, error) { return BanStudy(cfg) },
+	},
+	runner[MimicStudyConfig]{
+		name: "mimicstudy",
+		config: func(seed int64, full bool) MimicStudyConfig {
+			cfg := MimicStudyConfig{Seed: seed}
+			if !full {
+				cfg.Triggers = 60000
+				cfg.GFW = gfw.Config{PoolSize: 3000}
+			}
+			return cfg
+		},
+		run: func(cfg MimicStudyConfig) (Report, error) { return MimicStudy(cfg) },
+	},
+	runner[ProbeCostConfig]{
+		name: "probecost",
+		config: func(seed int64, full bool) ProbeCostConfig {
+			cfg := ProbeCostConfig{Seed: seed, Trials: 100}
+			if !full {
+				cfg.Trials = 50
+			}
+			return cfg
+		},
+		run: func(cfg ProbeCostConfig) (Report, error) { return ProbeCost(cfg) },
+	},
+	runner[MatrixConfig]{
+		name: "matrix",
+		config: func(seed int64, full bool) MatrixConfig {
+			cfg := MatrixConfig{Seed: seed, Trials: 200}
+			if !full {
+				cfg.Trials = 60
+			}
+			return cfg
+		},
+		run: func(cfg MatrixConfig) (Report, error) { return ReactionMatrices(cfg) },
+	},
+}
+
+// Runners returns the registry in presentation order.
+func Runners() []Runner {
+	return append([]Runner(nil), runners...)
+}
+
+// Lookup returns the runner registered under name.
+func Lookup(name string) (Runner, bool) {
+	for _, r := range runners {
+		if r.Name() == name {
+			return r, true
+		}
+	}
+	return nil, false
+}
+
+// Names returns the registered experiment names, sorted, for flag
+// validation messages.
+func Names() []string {
+	out := make([]string, len(runners))
+	for i, r := range runners {
+		out[i] = r.Name()
+	}
+	sort.Strings(out)
+	return out
+}

@@ -13,6 +13,7 @@ import (
 	"sslab/internal/netsim"
 	"sslab/internal/probe"
 	"sslab/internal/reaction"
+	"sslab/internal/seedfork"
 	"sslab/internal/sscrypto"
 	"sslab/internal/stats"
 	"sslab/internal/trafficgen"
@@ -91,8 +92,10 @@ type ShadowsocksReport struct {
 	// Figure 4.
 	Overlap capture.Overlap
 
-	// Log is the raw probe capture for further analysis.
-	Log *capture.Log
+	// Log is the raw probe capture for further analysis. It is excluded
+	// from the report's JSON form (shard reports must stay compact;
+	// use cmd/gfwsim -dump for the full capture).
+	Log *capture.Log `json:"-"`
 }
 
 // ShadowsocksExperiment reproduces §3.1: five Shadowsocks-libev pairs, one
@@ -103,7 +106,7 @@ func ShadowsocksExperiment(cfg ShadowsocksConfig) (*ShadowsocksReport, error) {
 	sim := netsim.NewSim()
 	net := netsim.NewNetwork(sim)
 	gcfg := cfg.GFW
-	gcfg.Seed = cfg.Seed
+	gcfg.Seed = seedfork.Fork(cfg.Seed, "shadowsocks.gfw")
 	g := gfw.New(sim, net, gcfg)
 	net.AddMiddlebox(g)
 
@@ -165,7 +168,7 @@ func ShadowsocksExperiment(cfg ShadowsocksConfig) (*ShadowsocksReport, error) {
 	interval := time.Hour / time.Duration(cfg.ConnsPerPairPerHour)
 	for i, p := range pairs {
 		p := p
-		tg := trafficgen.New(cfg.Seed + int64(i)*1000)
+		tg := trafficgen.New(seedfork.Fork(cfg.Seed, "shadowsocks.trafficgen", int64(i)))
 		spec, err := sscrypto.Lookup(p.method)
 		if err != nil {
 			return nil, err
@@ -284,7 +287,7 @@ func buildShadowsocksReport[T any](cfg ShadowsocksConfig, g *gfw.GFW, pairs []T,
 // overlap sizes relative to our observed prober IPs.
 func syntheticOverlap(g *gfw.GFW, seed int64) capture.Overlap {
 	ours := g.Log.UniqueIPs()
-	rng := rand.New(rand.NewSource(seed + 4))
+	rng := rand.New(rand.NewSource(seedfork.Fork(seed, "shadowsocks.overlap")))
 
 	pickFromOurs := func(n int) []string {
 		out := make([]string, 0, n)

@@ -10,6 +10,7 @@ import (
 	"sslab/internal/gfw"
 	"sslab/internal/netsim"
 	"sslab/internal/probe"
+	"sslab/internal/seedfork"
 )
 
 // SinkConfig scales the §4.1 random-data experiments.
@@ -76,7 +77,7 @@ func SinkExperiments(cfg SinkConfig) (*SinkReport, error) {
 	sim := netsim.NewSim()
 	net := netsim.NewNetwork(sim)
 	gcfg := cfg.GFW
-	gcfg.Seed = cfg.Seed
+	gcfg.Seed = seedfork.Fork(cfg.Seed, "sink.exp1.gfw")
 	g := gfw.New(sim, net, gcfg)
 	net.AddMiddlebox(g)
 
@@ -85,7 +86,7 @@ func SinkExperiments(cfg SinkConfig) (*SinkReport, error) {
 	host := &ServerHost{Sim: sim, Sink: true, seen: map[uint64]struct{}{}}
 	net.AddHost(server, host)
 
-	gen := entropy.NewGenerator(cfg.Seed + 7)
+	gen := entropy.NewGenerator(seedfork.Fork(cfg.Seed, "sink.exp1.entropy"))
 	interval := time.Hour / time.Duration(cfg.ConnsPerHour)
 	switchAt := netsim.Epoch.Add(time.Duration(cfg.Hours) * time.Hour)
 	end := switchAt.Add(time.Duration(cfg.Hours) / 2 * time.Hour)
@@ -141,7 +142,7 @@ func SinkExperiments(cfg SinkConfig) (*SinkReport, error) {
 	report.fillFigure8(replayLens)
 
 	// --- Exp 2: low entropy (<2), sink. ---
-	row2, _, err := runSinkVariant(cfg, 2, func(gen *entropy.Generator) []byte {
+	row2, _, err := runSinkVariant(cfg, "exp2", func(gen *entropy.Generator) []byte {
 		return gen.Payload(1+gen.Intn(1000), 1.2)
 	})
 	if err != nil {
@@ -170,11 +171,11 @@ func total(m map[probe.Type]int) int {
 }
 
 // runSinkVariant runs one sink experiment with a payload generator.
-func runSinkVariant(cfg SinkConfig, seedOff int64, payload func(*entropy.Generator) []byte) (ExpRow, *capture.Log, error) {
+func runSinkVariant(cfg SinkConfig, variant string, payload func(*entropy.Generator) []byte) (ExpRow, *capture.Log, error) {
 	sim := netsim.NewSim()
 	net := netsim.NewNetwork(sim)
 	gcfg := cfg.GFW
-	gcfg.Seed = cfg.Seed + seedOff
+	gcfg.Seed = seedfork.Fork(cfg.Seed, "sink."+variant+".gfw")
 	g := gfw.New(sim, net, gcfg)
 	net.AddMiddlebox(g)
 	server := netsim.Endpoint{IP: "178.62.10.2", Port: 443}
@@ -185,7 +186,7 @@ func runSinkVariant(cfg SinkConfig, seedOff int64, payload func(*entropy.Generat
 	if payload == nil {
 		payload = func(gen *entropy.Generator) []byte { return gen.Random(1 + gen.Intn(1000)) }
 	}
-	gen := entropy.NewGenerator(cfg.Seed + seedOff + 70)
+	gen := entropy.NewGenerator(seedfork.Fork(cfg.Seed, "sink."+variant+".entropy"))
 	interval := time.Hour / time.Duration(cfg.ConnsPerHour)
 	end := netsim.Epoch.Add(time.Duration(cfg.Hours) * time.Hour)
 	triggers := 0
@@ -209,7 +210,7 @@ func runExp3(cfg SinkConfig) (ExpRow, *capture.Log, []int, error) {
 	sim := netsim.NewSim()
 	net := netsim.NewNetwork(sim)
 	gcfg := cfg.GFW
-	gcfg.Seed = cfg.Seed + 3
+	gcfg.Seed = seedfork.Fork(cfg.Seed, "sink.exp3.gfw")
 	g := gfw.New(sim, net, gcfg)
 	net.AddMiddlebox(g)
 	server := netsim.Endpoint{IP: "178.62.10.3", Port: 443}
@@ -217,7 +218,7 @@ func runExp3(cfg SinkConfig) (ExpRow, *capture.Log, []int, error) {
 	host := &ServerHost{Sim: sim, Sink: true, seen: map[uint64]struct{}{}}
 	net.AddHost(server, host)
 
-	gen := entropy.NewGenerator(cfg.Seed + 73)
+	gen := entropy.NewGenerator(seedfork.Fork(cfg.Seed, "sink.exp3.entropy"))
 	interval := time.Hour / time.Duration(cfg.ConnsPerHour)
 	end := netsim.Epoch.Add(time.Duration(cfg.Hours) * time.Hour)
 	triggers := 0

@@ -1,0 +1,119 @@
+package stats
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// This file holds the order-independent reduction helpers the campaign
+// engine (internal/campaign) uses to fold per-shard experiment reports
+// into one aggregate: histogram and CDF union, and mean ± bootstrap
+// confidence intervals over seed samples. Every operation here is
+// associative and commutative over its inputs (or canonicalizes them
+// first), so a sweep's merged report is byte-identical regardless of
+// how many workers ran the shards or in which order they finished.
+
+// Merge folds another histogram into h bin-by-bin. Merging is
+// associative and commutative: any merge order over a set of
+// histograms yields the same counts.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil {
+		return
+	}
+	for v, c := range o.Counts {
+		h.Counts[v] += c
+	}
+	h.Total += o.Total
+}
+
+// Samples returns a copy of the CDF's sorted samples.
+func (c *CDF) Samples() []float64 {
+	return append([]float64(nil), c.sorted...)
+}
+
+// MergeCDFs unions the samples of every input CDF into a new CDF. Nil
+// inputs are skipped. Like Histogram.Merge, the result depends only on
+// the multiset of samples, not on argument order or grouping.
+func MergeCDFs(cdfs ...*CDF) *CDF {
+	var all []float64
+	for _, c := range cdfs {
+		if c == nil {
+			continue
+		}
+		all = append(all, c.sorted...)
+	}
+	return NewCDF(all)
+}
+
+// cdfJSON is the wire form of a CDF. The sorted sample slice is the
+// CDF's entire state, so (un)marshalling round-trips exactly.
+type cdfJSON struct {
+	Samples []float64 `json:"Samples"`
+}
+
+// MarshalJSON encodes the CDF as {"Samples":[...]} so experiment
+// reports that embed CDFs serialize losslessly (the field is
+// unexported, which plain encoding/json would silently drop).
+func (c *CDF) MarshalJSON() ([]byte, error) {
+	return json.Marshal(cdfJSON{Samples: c.sorted})
+}
+
+// UnmarshalJSON decodes the form written by MarshalJSON.
+func (c *CDF) UnmarshalJSON(b []byte) error {
+	var w cdfJSON
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	sort.Float64s(w.Samples)
+	c.sorted = w.Samples
+	return nil
+}
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// BootstrapMeanCI returns a percentile-bootstrap confidence interval
+// for the mean of xs at the given confidence level (e.g. 0.95), using
+// `resamples` bootstrap replicates drawn from rng. The samples are
+// canonicalized (sorted) before resampling, so the interval depends
+// only on the multiset of samples and the rng's seed — not on the
+// order shards delivered them. With fewer than two samples the
+// interval collapses to the mean.
+func BootstrapMeanCI(xs []float64, confidence float64, resamples int, rng *rand.Rand) (lo, hi float64) {
+	m := Mean(xs)
+	if len(xs) < 2 || resamples < 1 {
+		return m, m
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	means := make([]float64, resamples)
+	for i := range means {
+		s := 0.0
+		for j := 0; j < len(sorted); j++ {
+			s += sorted[rng.Intn(len(sorted))]
+		}
+		means[i] = s / float64(len(sorted))
+	}
+	sort.Float64s(means)
+	alpha := (1 - confidence) / 2
+	loIdx := int(math.Floor(alpha * float64(resamples)))
+	hiIdx := int(math.Ceil((1-alpha)*float64(resamples))) - 1
+	if loIdx < 0 {
+		loIdx = 0
+	}
+	if hiIdx >= resamples {
+		hiIdx = resamples - 1
+	}
+	return means[loIdx], means[hiIdx]
+}

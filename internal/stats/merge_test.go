@@ -1,0 +1,168 @@
+package stats
+
+import (
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestHistogramMergeOrderIndependent is the property the campaign
+// merge relies on: folding a set of histograms in any permutation and
+// any grouping yields identical counts.
+func TestHistogramMergeOrderIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var parts []*Histogram
+	for i := 0; i < 12; i++ {
+		h := NewHistogram()
+		for j := 0; j < 50; j++ {
+			h.Add(rng.Intn(20))
+		}
+		parts = append(parts, h)
+	}
+	merge := func(order []int) *Histogram {
+		out := NewHistogram()
+		for _, i := range order {
+			out.Merge(parts[i])
+		}
+		return out
+	}
+	base := merge(rng.Perm(len(parts)))
+	for trial := 0; trial < 20; trial++ {
+		got := merge(rng.Perm(len(parts)))
+		if !reflect.DeepEqual(base, got) {
+			t.Fatalf("merge order changed the result:\n%v\nvs\n%v", base, got)
+		}
+	}
+	// Associativity: merging pre-merged halves equals the flat merge.
+	left, right := NewHistogram(), NewHistogram()
+	for i, p := range parts {
+		if i%2 == 0 {
+			left.Merge(p)
+		} else {
+			right.Merge(p)
+		}
+	}
+	left.Merge(right)
+	if !reflect.DeepEqual(base, left) {
+		t.Fatalf("grouped merge diverged from flat merge")
+	}
+}
+
+// TestHistogramMergeSingles: merging N single-observation histograms
+// equals the N-observation histogram.
+func TestHistogramMergeSingles(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	full := NewHistogram()
+	merged := NewHistogram()
+	for i := 0; i < 200; i++ {
+		v := rng.Intn(30)
+		full.Add(v)
+		single := NewHistogram()
+		single.Add(v)
+		merged.Merge(single)
+	}
+	if !reflect.DeepEqual(full, merged) {
+		t.Fatalf("merged singles != bulk histogram")
+	}
+}
+
+func TestMergeCDFsOrderIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var parts []*CDF
+	for i := 0; i < 8; i++ {
+		xs := make([]float64, 40)
+		for j := range xs {
+			xs[j] = rng.NormFloat64()
+		}
+		parts = append(parts, NewCDF(xs))
+	}
+	merge := func(order []int) *CDF {
+		in := make([]*CDF, len(order))
+		for k, i := range order {
+			in[k] = parts[i]
+		}
+		return MergeCDFs(in...)
+	}
+	base := merge(rng.Perm(len(parts)))
+	for trial := 0; trial < 20; trial++ {
+		if got := merge(rng.Perm(len(parts))); !reflect.DeepEqual(base.sorted, got.sorted) {
+			t.Fatal("CDF merge order changed the sample multiset")
+		}
+	}
+	// Grouped union equals flat union, and singles union equals bulk.
+	grouped := MergeCDFs(MergeCDFs(parts[:4]...), MergeCDFs(parts[4:]...))
+	if !reflect.DeepEqual(base.sorted, grouped.sorted) {
+		t.Fatal("grouped CDF union diverged")
+	}
+	var singles []*CDF
+	for _, s := range parts[0].Samples() {
+		singles = append(singles, NewCDF([]float64{s}))
+	}
+	if got := MergeCDFs(singles...); !reflect.DeepEqual(got.sorted, parts[0].sorted) {
+		t.Fatal("merging single-sample CDFs != bulk CDF")
+	}
+	if MergeCDFs(nil, parts[0], nil).Len() != parts[0].Len() {
+		t.Fatal("nil inputs not skipped")
+	}
+}
+
+func TestCDFJSONRoundTrip(t *testing.T) {
+	c := NewCDF([]float64{3, 1, 2, 2.5})
+	b, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back CDF
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(c.sorted, back.sorted) {
+		t.Fatalf("round trip lost samples: %v vs %v", c.sorted, back.sorted)
+	}
+	// Empty CDF must round-trip too (a shard can observe nothing).
+	b2, err := json.Marshal(NewCDF(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var empty CDF
+	if err := json.Unmarshal(b2, &empty); err != nil {
+		t.Fatal(err)
+	}
+	if empty.Len() != 0 {
+		t.Fatal("empty CDF grew samples in transit")
+	}
+}
+
+// TestBootstrapDeterministic: the CI depends only on the sample
+// multiset and the rng seed — the guarantee that makes the sweep's
+// merged report byte-identical across worker counts.
+func TestBootstrapDeterministic(t *testing.T) {
+	xs := []float64{4, 8, 15, 16, 23, 42}
+	perm := []float64{42, 15, 4, 23, 8, 16}
+	lo1, hi1 := BootstrapMeanCI(xs, 0.95, 1000, rand.New(rand.NewSource(9)))
+	lo2, hi2 := BootstrapMeanCI(perm, 0.95, 1000, rand.New(rand.NewSource(9)))
+	if lo1 != lo2 || hi1 != hi2 {
+		t.Fatalf("CI depends on sample order: [%g,%g] vs [%g,%g]", lo1, hi1, lo2, hi2)
+	}
+	if lo1 > hi1 {
+		t.Fatalf("inverted interval [%g,%g]", lo1, hi1)
+	}
+	m := Mean(xs)
+	if m < lo1 || m > hi1 {
+		t.Fatalf("mean %g outside its own CI [%g,%g]", m, lo1, hi1)
+	}
+	// Degenerate inputs collapse to the mean.
+	if lo, hi := BootstrapMeanCI([]float64{7}, 0.95, 100, rand.New(rand.NewSource(1))); lo != 7 || hi != 7 {
+		t.Fatalf("single-sample CI [%g,%g], want [7,7]", lo, hi)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean not 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("mean = %g", got)
+	}
+}
