@@ -1,0 +1,58 @@
+package sslab_test
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// TestHotPathAllocBudgets enforces the allocs/op budgets recorded in
+// BENCH_hotpath.json: every BenchmarkHotPath sub-benchmark is run and
+// its measured allocations compared against the committed budget.
+// Budgets are allocation counts, not timings, so the test is stable
+// across hardware; a regression (a new per-op allocation sneaking into
+// a steady-state path) fails here and in the CI bench-smoke job.
+func TestHotPathAllocBudgets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full benchmarks; skipped with -short")
+	}
+	data, err := os.ReadFile("BENCH_hotpath.json")
+	if err != nil {
+		t.Fatalf("reading budgets: %v", err)
+	}
+	var doc struct {
+		AllocBudgets map[string]int64 `json:"alloc_budgets"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("parsing BENCH_hotpath.json: %v", err)
+	}
+	benches := map[string]func(*testing.B){
+		"GFWOnFlow":       benchGFWOnFlow,
+		"EventDispatch":   benchEventDispatch,
+		"StreamConnWrite": benchStreamConnWrite,
+		"AEADConnWrite":   benchAEADConnWrite,
+		"AEADSeal":        benchAEADSeal,
+		"AEADOpen":        benchAEADOpen,
+	}
+	if len(doc.AllocBudgets) == 0 {
+		t.Fatal("BENCH_hotpath.json has no alloc_budgets")
+	}
+	for name, fn := range benches {
+		budget, ok := doc.AllocBudgets[name]
+		if !ok {
+			t.Errorf("%s: no alloc budget in BENCH_hotpath.json", name)
+			continue
+		}
+		res := testing.Benchmark(fn)
+		if got := res.AllocsPerOp(); got > budget {
+			t.Errorf("%s: %d allocs/op exceeds budget %d (%s)", name, got, budget, res.MemString())
+		} else {
+			t.Logf("%s: %d allocs/op (budget %d)", name, got, budget)
+		}
+	}
+	for name := range doc.AllocBudgets {
+		if _, ok := benches[name]; !ok {
+			t.Errorf("BENCH_hotpath.json budgets unknown benchmark %q", name)
+		}
+	}
+}

@@ -1,0 +1,217 @@
+// BenchmarkHotPath measures the steady-state per-flow pipeline the
+// ROADMAP's "as fast as the hardware allows" goal is gated on: the
+// netsim event loop, the GFW's passive OnFlow+detector path, the
+// ssproto stream/AEAD framing, and the sscrypto Seal/Open primitives.
+//
+// Every sub-benchmark reports allocs/op. The budgets live in
+// BENCH_hotpath.json and are enforced by TestHotPathAllocBudgets and
+// the bench-smoke CI job: steady-state streamConn writes and netsim
+// event dispatch must stay at 0 allocs/op.
+package sslab_test
+
+import (
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"sslab/internal/entropy"
+	"sslab/internal/gfw"
+	"sslab/internal/netsim"
+	"sslab/internal/reaction"
+	"sslab/internal/sscrypto"
+	"sslab/internal/ssproto"
+)
+
+func BenchmarkHotPath(b *testing.B) {
+	b.Run("GFWOnFlow", benchGFWOnFlow)
+	b.Run("EventDispatch", benchEventDispatch)
+	b.Run("StreamConnWrite", benchStreamConnWrite)
+	b.Run("AEADConnWrite", benchAEADConnWrite)
+	b.Run("AEADSeal", benchAEADSeal)
+	b.Run("AEADOpen", benchAEADOpen)
+}
+
+// benchGFWOnFlow drives the full passive path — Connect → middlebox
+// OnFlow → detector → (sometimes) recording + probe scheduling — with a
+// realistic first-packet mix: mostly Shadowsocks-like high-entropy
+// payloads in the detector's 160–999 support, plus short ACK-ish and
+// long out-of-support flows. Probe events are drained as virtual time
+// advances, so the event loop and prober pool are part of the cost.
+func benchGFWOnFlow(b *testing.B) {
+	sim := netsim.NewSim()
+	network := netsim.NewNetwork(sim)
+	censor := gfw.New(sim, network, gfw.Config{Seed: 7, PoolSize: 4000})
+	network.AddMiddlebox(censor)
+
+	server := netsim.Endpoint{IP: "178.62.10.1", Port: 8388}
+	client := netsim.Endpoint{IP: "150.109.20.2", Port: 40001}
+	seen := map[string]bool{}
+	network.AddHost(server, netsim.HostFunc(func(f *netsim.Flow) netsim.Outcome {
+		if !f.Probe {
+			// Lookup before insert: the payload set is small and a map
+			// lookup keyed on string(bytes) does not allocate, so the
+			// host stays out of the benchmark's allocation profile.
+			if !seen[string(f.FirstPayload)] {
+				seen[string(f.FirstPayload)] = true
+			}
+			return netsim.Outcome{Reaction: reaction.Timeout}
+		}
+		if seen[string(f.FirstPayload)] {
+			return netsim.Outcome{Reaction: reaction.Data, ResponseLen: 600}
+		}
+		return netsim.Outcome{Reaction: reaction.RST}
+	}))
+
+	// 70% Shadowsocks-shaped first packets (high entropy, lengths that
+	// land in the detector support), 15% short low-entropy, 15% long
+	// out-of-support — roughly the border mix the FPStudy models.
+	gen := entropy.NewGenerator(11)
+	lenRng := rand.New(rand.NewSource(13))
+	payloads := make([][]byte, 1024)
+	for i := range payloads {
+		switch {
+		case i%20 < 14:
+			payloads[i] = gen.Random(160 + lenRng.Intn(840))
+		case i%20 < 17:
+			payloads[i] = gen.Payload(20+lenRng.Intn(100), 3.0)
+		default:
+			payloads[i] = gen.Random(1000 + lenRng.Intn(500))
+		}
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		network.Connect(client, server, payloads[i%len(payloads)], false, time.Time{})
+		if i%4096 == 4095 {
+			// Advance virtual time so scheduled probes fire and the
+			// event heap stays bounded.
+			sim.RunUntil(sim.Now().Add(time.Hour))
+		}
+	}
+	sim.Run()
+	b.ReportMetric(float64(censor.ProbesSent)/float64(b.N), "probes/flow")
+}
+
+// benchEventDispatch measures the scheduler alone: schedule + dispatch
+// of the common After case with a pre-bound callback, in batches, the
+// way the GFW schedules probe batches.
+func benchEventDispatch(b *testing.B) {
+	sim := netsim.NewSim()
+	dispatched := 0
+	fn := func() { dispatched++ }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.After(time.Duration(i%512)*time.Microsecond, fn)
+		if i%512 == 511 {
+			sim.Run()
+		}
+	}
+	sim.Run()
+	if dispatched != b.N {
+		b.Fatalf("dispatched %d of %d events", dispatched, b.N)
+	}
+}
+
+// discardConn is a net.Conn whose writes vanish without allocating.
+type discardConn struct{ net.Conn }
+
+func (discardConn) Write(p []byte) (int, error) { return len(p), nil }
+func (discardConn) Read(p []byte) (int, error)  { return 0, nil }
+func (discardConn) SetDeadline(time.Time) error { return nil }
+func (discardConn) Close() error                { return nil }
+func (discardConn) LocalAddr() net.Addr         { return nil }
+func (discardConn) RemoteAddr() net.Addr        { return nil }
+
+// benchStreamConnWrite: steady-state relay writes through the stream
+// construction (the IV flight is done before the timer starts).
+func benchStreamConnWrite(b *testing.B) {
+	spec, err := sscrypto.Lookup("aes-256-ctr")
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := spec.Key("bench-pw")
+	conn := ssproto.NewConnWithRand(discardConn{}, spec, key, rand.New(rand.NewSource(1)))
+	buf := make([]byte, 1400)
+	if _, err := conn.Write(buf); err != nil { // first write: IV path
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := conn.Write(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchAEADConnWrite: steady-state relay writes through the AEAD
+// construction (salt flight done before the timer starts).
+func benchAEADConnWrite(b *testing.B) {
+	spec, err := sscrypto.Lookup("chacha20-ietf-poly1305")
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := spec.Key("bench-pw")
+	conn := ssproto.NewConnWithRand(discardConn{}, spec, key, rand.New(rand.NewSource(1)))
+	buf := make([]byte, 1400)
+	if _, err := conn.Write(buf); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := conn.Write(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchAEADSeal: the sscrypto chacha20-ietf-poly1305 Seal primitive
+// with a reused destination buffer — the per-chunk cost of every AEAD
+// relay direction.
+func benchAEADSeal(b *testing.B) {
+	spec, _ := sscrypto.Lookup("chacha20-ietf-poly1305")
+	key := spec.Key("bench-pw")
+	aead, err := spec.NewAEAD(sscrypto.SessionSubkey(key, make([]byte, spec.SaltSize())))
+	if err != nil {
+		b.Fatal(err)
+	}
+	nonce := make([]byte, aead.NonceSize())
+	msg := make([]byte, 1400)
+	dst := make([]byte, 0, len(msg)+aead.Overhead())
+	b.SetBytes(int64(len(msg)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = aead.Seal(dst[:0], nonce, msg, nil)
+	}
+}
+
+// benchAEADOpen: the matching Open with a reused destination buffer.
+func benchAEADOpen(b *testing.B) {
+	spec, _ := sscrypto.Lookup("chacha20-ietf-poly1305")
+	key := spec.Key("bench-pw")
+	aead, err := spec.NewAEAD(sscrypto.SessionSubkey(key, make([]byte, spec.SaltSize())))
+	if err != nil {
+		b.Fatal(err)
+	}
+	nonce := make([]byte, aead.NonceSize())
+	msg := make([]byte, 1400)
+	ct := aead.Seal(nil, nonce, msg, nil)
+	dst := make([]byte, 0, len(msg))
+	b.SetBytes(int64(len(msg)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		dst, err = aead.Open(dst[:0], nonce, ct, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	gfwsim [-seed N] [-full] [-experiment all|NAME] [-json FILE] [-dump FILE]
+//	       [-cpuprofile FILE] [-memprofile FILE]
 //
 // -json appends one campaign.ShardResult per experiment to FILE — the
 // same JSONL schema sslab-sweep checkpoints — so single runs and sweep
@@ -22,6 +23,7 @@ import (
 
 	"sslab/internal/campaign"
 	"sslab/internal/experiment"
+	"sslab/internal/prof"
 )
 
 func main() {
@@ -33,8 +35,20 @@ func main() {
 		exp      = flag.String("experiment", "all", "which experiment to run: all, or one of "+strings.Join(experiment.Names(), ", "))
 		jsonOut  = flag.String("json", "", "append each experiment's report to FILE as JSONL (sslab-sweep shard schema)")
 		dumpFile = flag.String("dump", "", "write the Shadowsocks experiment's probe capture to FILE as JSONL")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to FILE (go tool pprof format)")
+		memProf  = flag.String("memprofile", "", "write a heap profile to FILE at exit")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			log.Fatal(err)
+		}
+	}()
 
 	// Validate -experiment before any simulation runs: a typo should
 	// fail in milliseconds, not after a four-month virtual sweep.

@@ -8,7 +8,8 @@
 //
 //	sslab-sweep -experiment shadowsocks -seeds 1..8 [-workers 8]
 //	            [-grid GFW.PoolSize=4000,8000] [-set Days=30] [-full]
-//	            [-out DIR] [-resume] [-json]
+//	            [-out DIR] [-resume] [-json] [-metrics]
+//	            [-cpuprofile FILE] [-memprofile FILE]
 //
 // With -out DIR the sweep checkpoints every finished shard to
 // DIR/shards.jsonl and writes DIR/merged.json at the end; re-running
@@ -16,6 +17,11 @@
 // repeat, one axis per flag; the cross product of all axes times the
 // seed list is the shard set. -json prints the merged report as JSON on
 // stdout instead of the human summary.
+//
+// -metrics prints the engine's counter snapshot to stderr after the
+// sweep; metrics never feed the merged report, so its byte-identity
+// across -workers values is unaffected. -cpuprofile/-memprofile write
+// pprof profiles of the whole sweep.
 package main
 
 import (
@@ -28,6 +34,8 @@ import (
 
 	"sslab/internal/campaign"
 	"sslab/internal/experiment"
+	"sslab/internal/metrics"
+	"sslab/internal/prof"
 )
 
 // listFlag collects a repeatable string flag (-grid, -set).
@@ -48,12 +56,25 @@ func main() {
 		resume   = flag.Bool("resume", false, "reuse finished shards checkpointed in -out")
 		jsonOut  = flag.Bool("json", false, "print the merged report as JSON instead of the summary")
 		quiet    = flag.Bool("quiet", false, "suppress the per-shard progress line")
+		showMet  = flag.Bool("metrics", false, "print the engine's metrics snapshot to stderr after the sweep")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to FILE (go tool pprof format)")
+		memProf  = flag.String("memprofile", "", "write a heap profile to FILE at exit")
 		grid     listFlag
 		sets     listFlag
 	)
 	flag.Var(&grid, "grid", "grid axis key=v1,v2,… (repeatable; cross product of axes)")
 	flag.Var(&sets, "set", "fixed config override key=value (repeatable, applies to every shard)")
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			log.Fatal(err)
+		}
+	}()
 
 	if *expName == "" {
 		log.Fatalf("-experiment is required; valid names: %s", strings.Join(experiment.Names(), ", "))
@@ -107,11 +128,16 @@ func main() {
 			done, total, r.Seed, formatParams(r.GridPoint), eta, status)
 	}
 
+	var reg *metrics.Registry
+	if *showMet {
+		reg = metrics.New()
+	}
 	rep, err := campaign.Run(spec, campaign.Options{
 		Workers:    *workers,
 		Dir:        *outDir,
 		Resume:     *resume,
 		OnProgress: progress,
+		Metrics:    reg,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -119,6 +145,9 @@ func main() {
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "sweep of %d shards finished in %s (%d failed)\n",
 			rep.Shards, time.Since(start).Round(time.Millisecond), rep.Failed)
+	}
+	if reg != nil {
+		fmt.Fprint(os.Stderr, reg.Snapshot().String())
 	}
 
 	if *jsonOut {

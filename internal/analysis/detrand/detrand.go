@@ -29,6 +29,7 @@ var Analyzer = &analysis.Analyzer{
 		"sslab/internal/entropy",
 		"sslab/internal/experiment",
 		"sslab/internal/gfw",
+		"sslab/internal/metrics",
 		"sslab/internal/netsim",
 		"sslab/internal/probe",
 		"sslab/internal/probesim",

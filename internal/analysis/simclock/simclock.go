@@ -40,6 +40,7 @@ var Analyzer = &analysis.Analyzer{
 		"sslab/internal/campaign",
 		"sslab/internal/experiment",
 		"sslab/internal/gfw",
+		"sslab/internal/metrics",
 		"sslab/internal/netsim",
 		"sslab/internal/probe",
 		"sslab/internal/reaction",

@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"sslab/internal/experiment"
+	"sslab/internal/metrics"
 )
 
 // Options tunes one sweep run.
@@ -27,6 +28,11 @@ type Options struct {
 	OnProgress func(done, total int, r ShardResult)
 	// RunShard overrides the registry-backed shard runner (tests).
 	RunShard func(Shard) (json.RawMessage, error)
+	// Metrics, when set, receives campaign.* counters (shards run,
+	// failed, restored from checkpoint). Metrics never feed the merged
+	// report, so the sweep's byte-identity guarantee is untouched. A nil
+	// registry is valid and makes every instrument a no-op.
+	Metrics *metrics.Registry
 }
 
 // Run executes the sweep and returns the merged report. Failed shards
@@ -44,6 +50,10 @@ func Run(spec Spec, opt Options) (*MergedReport, error) {
 		runShard = func(s Shard) (json.RawMessage, error) { return runRegistered(spec, s) }
 	}
 	shards := spec.Shards()
+
+	mRun := opt.Metrics.Counter("campaign.shards_run")
+	mFailed := opt.Metrics.Counter("campaign.shards_failed")
+	mRestored := opt.Metrics.Counter("campaign.shards_restored")
 
 	results := make([]*ShardResult, len(shards))
 	var ckpt *checkpoint
@@ -69,6 +79,7 @@ func Run(spec Spec, opt Options) (*MergedReport, error) {
 			todo = append(todo, i)
 		} else {
 			done++
+			mRestored.Inc()
 			if opt.OnProgress != nil {
 				opt.OnProgress(done, len(shards), *results[i])
 			}
@@ -100,6 +111,10 @@ func Run(spec Spec, opt Options) (*MergedReport, error) {
 			defer wg.Done()
 			for i := range queue {
 				res := runIsolated(shards[i], runShard)
+				mRun.Inc()
+				if res.Err != "" {
+					mFailed.Inc()
+				}
 				mu.Lock()
 				results[i] = &res
 				if ckpt != nil {

@@ -11,24 +11,61 @@ import (
 	"sort"
 )
 
+// Shannon is the detector's innermost loop (it runs once per recorded-
+// probability evaluation), so it avoids math.Log2 entirely for realistic
+// packet sizes: with the identity
+//
+//	H = -Σ (c/n)·log2(c/n) = (n·log2(n) - Σ c·log2(c)) / n
+//
+// only the function c ↦ c·log2(c) is needed, and for c up to
+// log2TableSize it comes from a table built once at init.
+const log2TableSize = 4096
+
+// cLog2c[c] = c·log2(c), with the c = 0 entry 0 (the limit value, which
+// also lets the histogram loop skip the c == 0 branch).
+var cLog2c [log2TableSize]float64
+
+func init() {
+	for i := 2; i < log2TableSize; i++ {
+		cLog2c[i] = float64(i) * math.Log2(float64(i))
+	}
+}
+
+func cLog2(c int) float64 {
+	if c < log2TableSize {
+		return cLog2c[c]
+	}
+	return float64(c) * math.Log2(float64(c))
+}
+
 // Shannon returns the per-byte Shannon entropy of b in bits, in [0, 8].
 // An empty slice has entropy 0 by convention.
 func Shannon(b []byte) float64 {
-	if len(b) == 0 {
+	n := len(b)
+	if n == 0 {
 		return 0
 	}
 	var counts [256]int
 	for _, c := range b {
 		counts[c]++
 	}
-	n := float64(len(b))
-	h := 0.0
-	for _, c := range counts {
-		if c == 0 {
-			continue
+	var sum float64
+	if n < log2TableSize {
+		// Bin counts are bounded by n, so every lookup hits the table —
+		// and a zero count contributes exactly 0, no branch needed.
+		for _, c := range counts {
+			sum += cLog2c[c]
 		}
-		p := float64(c) / n
-		h -= p * math.Log2(p)
+	} else {
+		for _, c := range counts {
+			if c != 0 {
+				sum += cLog2(c)
+			}
+		}
+	}
+	h := (cLog2(n) - sum) / float64(n)
+	if h < 0 {
+		return 0 // guard against float rounding on degenerate inputs
 	}
 	return h
 }

@@ -140,3 +140,38 @@ func BenchmarkShannon(b *testing.B) {
 		Shannon(p)
 	}
 }
+
+// TestShannonMatchesDirectFormula checks the table-driven fast path
+// against the textbook -Σ p·log2(p) formula, including payloads larger
+// than the c·log2(c) table.
+func TestShannonMatchesDirectFormula(t *testing.T) {
+	direct := func(b []byte) float64 {
+		if len(b) == 0 {
+			return 0
+		}
+		var counts [256]int
+		for _, c := range b {
+			counts[c]++
+		}
+		n := float64(len(b))
+		h := 0.0
+		for _, c := range counts {
+			if c == 0 {
+				continue
+			}
+			p := float64(c) / n
+			h -= p * math.Log2(p)
+		}
+		return h
+	}
+	g := NewGenerator(23)
+	for _, n := range []int{1, 2, 7, 64, 221, 1000, 1500, log2TableSize - 1, log2TableSize, 3 * log2TableSize} {
+		for _, target := range []float64{0.5, 3, 6, 8} {
+			b := g.Payload(n, target)
+			got, want := Shannon(b), direct(b)
+			if math.Abs(got-want) > 1e-9 {
+				t.Errorf("n=%d target=%.1f: table Shannon %v, direct %v", n, target, got, want)
+			}
+		}
+	}
+}

@@ -91,6 +91,12 @@ func (d detector) recordProbability(payload []byte) float64 {
 			lw = 0.1 // flat, length-independent
 		}
 	}
+	if lw == 0 {
+		// The length feature already vetoed this payload; skip the
+		// entropy pass entirely. Most cross-firewall traffic lands here,
+		// so the common case never touches the payload bytes.
+		return 0
+	}
 	ew := entropyWeight(entropy.Shannon(payload))
 	if d.ignoreEntropy {
 		ew = 0.6

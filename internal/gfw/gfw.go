@@ -17,6 +17,7 @@ import (
 
 	"sslab/internal/capture"
 	"sslab/internal/defense"
+	"sslab/internal/metrics"
 	"sslab/internal/netsim"
 	"sslab/internal/probe"
 	"sslab/internal/reaction"
@@ -103,6 +104,25 @@ type GFW struct {
 
 	servers map[netsim.Endpoint]*serverState
 
+	// slab backs recorded payload copies: recordings reference capped
+	// sub-slices of large chunks instead of one heap allocation per
+	// payload, keeping the recording branch of OnFlow nearly
+	// allocation-free. Outstanding sub-slices stay valid when a new
+	// chunk replaces a full one (the old backing array lives on).
+	slab []byte
+
+	// taskFree recycles probeTask argument structs for the closure-free
+	// AfterCall scheduling of probe batches.
+	taskFree []*probeTask
+
+	// Pre-resolved instruments on the sim's registry (hot path: no map
+	// lookups per flow).
+	mTriggers  *metrics.Counter
+	mRecorded  *metrics.Counter
+	mProbes    *metrics.Counter
+	mBlocks    *metrics.Counter
+	mSlabBytes *metrics.Gauge
+
 	// Counters for experiment reports.
 	Triggers         int // non-probe flows observed
 	PayloadsRecorded int // first payloads recorded for replay
@@ -120,7 +140,11 @@ type serverState struct {
 	dataResponses int // probes the server answered with data
 	fpScore       float64
 	blocked       bool
-	recordedPays  [][]byte // payloads recorded from this server's flows
+	// blockGen counts blocks of this server; the scheduled unblock only
+	// clears state belonging to its own generation, so a re-block that
+	// lands before a pending unblock fires is not cleared early.
+	blockGen     uint64
+	recordedPays [][]byte // payloads recorded from this server's flows
 }
 
 // ssLike reports whether the server's traffic looks like Shadowsocks:
@@ -148,15 +172,40 @@ func New(sim *netsim.Sim, net *netsim.Network, cfg Config) *GFW {
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	return &GFW{
-		cfg:     cfg,
-		sim:     sim,
-		net:     net,
-		rng:     rng,
-		det:     detector{base: cfg.ReplayBase, ignoreLength: cfg.DisableLengthFeature, ignoreEntropy: cfg.DisableEntropyFeature},
-		Pool:    NewPool(rand.New(rand.NewSource(cfg.Seed+1)), cfg.PoolSize, sim.Now()),
-		Log:     capture.NewLog(sim.Now()),
-		servers: map[netsim.Endpoint]*serverState{},
+		cfg:        cfg,
+		sim:        sim,
+		net:        net,
+		rng:        rng,
+		det:        detector{base: cfg.ReplayBase, ignoreLength: cfg.DisableLengthFeature, ignoreEntropy: cfg.DisableEntropyFeature},
+		Pool:       NewPool(rand.New(rand.NewSource(cfg.Seed+1)), cfg.PoolSize, sim.Now()),
+		Log:        capture.NewLog(sim.Now()),
+		servers:    map[netsim.Endpoint]*serverState{},
+		mTriggers:  sim.Metrics.Counter("gfw.triggers"),
+		mRecorded:  sim.Metrics.Counter("gfw.payloads_recorded"),
+		mProbes:    sim.Metrics.Counter("gfw.probes_sent"),
+		mBlocks:    sim.Metrics.Counter("gfw.block_events"),
+		mSlabBytes: sim.Metrics.Gauge("gfw.recording_slab_bytes"),
 	}
+}
+
+// slabChunk is the recording slab's chunk size. Payloads are at most
+// ~1500 bytes, so one chunk amortizes hundreds of recordings.
+const slabChunk = 64 * 1024
+
+// slabCopy copies p into the recording slab and returns a capped
+// sub-slice (appends to the slab can never write through it).
+func (g *GFW) slabCopy(p []byte) []byte {
+	if len(g.slab)+len(p) > cap(g.slab) {
+		n := slabChunk
+		if len(p) > n {
+			n = len(p)
+		}
+		g.slab = make([]byte, 0, n)
+		g.mSlabBytes.Add(int64(n))
+	}
+	start := len(g.slab)
+	g.slab = append(g.slab, p...)
+	return g.slab[start:len(g.slab):len(g.slab)]
 }
 
 func (g *GFW) state(server netsim.Endpoint) *serverState {
@@ -192,6 +241,7 @@ func (g *GFW) OnFlow(f *netsim.Flow) {
 		return // the censor does not re-analyze its own probes
 	}
 	g.Triggers++
+	g.mTriggers.Inc()
 	s := g.state(f.Server)
 
 	// Track the first-packet length profile for NR1 qualification.
@@ -206,24 +256,57 @@ func (g *GFW) OnFlow(f *netsim.Flow) {
 	if g.cfg.TLSWhitelist && defense.IsTLSFramed(f.FirstPayload) {
 		return
 	}
-	if g.rng.Float64() >= g.det.recordProbability(f.FirstPayload) {
+	// A zero probability — the common case for non-Shadowsocks-shaped
+	// traffic — needs no coin flip, and recordProbability itself skips the
+	// entropy pass for it.
+	p := g.det.recordProbability(f.FirstPayload)
+	if p <= 0 || g.rng.Float64() >= p {
 		return
 	}
 
 	// Record the payload and schedule a batch of probes derived from it.
+	// The recording and its probe tasks are off the hot path (a few per
+	// thousand flows); the payload bytes come from the shared slab.
 	g.PayloadsRecorded++
-	rec := recording{
-		payload: append([]byte(nil), f.FirstPayload...),
+	g.mRecorded.Inc()
+	rec := &recording{
+		payload: g.slabCopy(f.FirstPayload),
 		at:      g.sim.Now(),
 	}
 	s.recordedPays = append(s.recordedPays, rec.payload)
 
 	n := sampleRepeatCount(g.rng)
 	for i := 0; i < n; i++ {
-		delay := sampleDelay(g.rng)
-		server := f.Server
-		g.sim.After(delay, func() { g.sendProbe(server, &rec) })
+		g.sim.AfterCall(sampleDelay(g.rng), runProbeTask, g.newProbeTask(f.Server, rec))
 	}
+}
+
+// probeTask carries the arguments of one scheduled probe through the
+// closure-free netsim.AfterCall path; tasks are recycled via GFW.taskFree.
+type probeTask struct {
+	g      *GFW
+	server netsim.Endpoint
+	rec    *recording
+}
+
+// runProbeTask is the netsim.AfterCall trampoline: a single package-level
+// function value, so scheduling a probe allocates no closure.
+func runProbeTask(x any) {
+	t := x.(*probeTask)
+	g, server, rec := t.g, t.server, t.rec
+	t.g, t.rec = nil, nil
+	g.taskFree = append(g.taskFree, t)
+	g.sendProbe(server, rec)
+}
+
+func (g *GFW) newProbeTask(server netsim.Endpoint, rec *recording) *probeTask {
+	if n := len(g.taskFree); n > 0 {
+		t := g.taskFree[n-1]
+		g.taskFree = g.taskFree[:n-1]
+		t.g, t.server, t.rec = g, server, rec
+		return t
+	}
+	return &probeTask{g: g, server: server, rec: rec}
 }
 
 // OnOutcome implements netsim.Middlebox. Outcomes of the GFW's own probes
@@ -335,6 +418,7 @@ func (g *GFW) emit(server netsim.Endpoint, s *serverState, typ probe.Type, paylo
 	genAt := replayOf
 	outcome := g.net.Connect(src.Endpoint(), server, payload, true, genAt)
 	g.ProbesSent++
+	g.mProbes.Inc()
 	g.Log.Add(capture.Record{
 		Time:    g.sim.Now(),
 		SrcIP:   src.IP,
@@ -395,19 +479,33 @@ func (g *GFW) maybeBlock(server netsim.Endpoint, s *serverState) {
 		return
 	}
 	s.blocked = true
+	s.blockGen++
+	myGen := s.blockGen
 	byIP := g.rng.Float64() < 0.5
+	var ruleGen uint64
 	if byIP {
-		g.net.BlockIP(server.IP)
+		ruleGen = g.net.BlockIP(server.IP)
 	} else {
-		g.net.BlockPort(server)
+		ruleGen = g.net.BlockPort(server)
 	}
 	// Unblocking happens without recheck probes, a week or more later
 	// (§6: one server became unblocked more than a week after blocking,
-	// with no probes observed in between).
+	// with no probes observed in between). The unblock is guarded twice:
+	// the network rule is cleared only if it is still the one this block
+	// installed (another server sharing the IP, or a later re-block, may
+	// have re-armed it), and the per-server blocked flag is cleared only
+	// for this block's own generation.
 	until := g.sim.Now().Add(7*24*time.Hour + time.Duration(g.rng.Intn(7*24))*time.Hour)
 	g.BlockEvents = append(g.BlockEvents, BlockEvent{Time: g.sim.Now(), Server: server, ByIP: byIP, Until: until})
+	g.mBlocks.Inc()
 	g.sim.At(until, func() {
-		g.net.Unblock(server)
-		s.blocked = false
+		if byIP {
+			g.net.UnblockIPIf(server.IP, ruleGen)
+		} else {
+			g.net.UnblockPortIf(server, ruleGen)
+		}
+		if s.blockGen == myGen {
+			s.blocked = false
+		}
 	})
 }

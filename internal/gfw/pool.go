@@ -50,6 +50,13 @@ type poolIP struct {
 	asn  int
 }
 
+// Non-ephemeral source ports spread over [nonEphemeralPortMin,
+// nonEphemeralPortMax] inclusive — Figure 5's observed support.
+const (
+	nonEphemeralPortMin = 1212
+	nonEphemeralPortMax = 65535
+)
+
 // Pool models the censor's probing infrastructure: a large, high-churn
 // set of source IP addresses spread over the Table 3 ASes, with per-probe
 // fingerprints (source port, TTL, IP ID, TCP timestamp) matching §3.4.
@@ -156,17 +163,27 @@ func (p *Pool) pickIP() poolIP {
 	return p.ips[lo]
 }
 
-// pickProcess samples a sender process by weight.
+// pickProcess samples a sender process by weight. Float accumulation of
+// the weights can underflow their nominal sum, so a draw in the sliver
+// between the accumulated total and 1.0 falls off the loop; returning
+// process 0 there (as this function once did) silently inflated the
+// dominant process's share. The correct residual owner is the last
+// process with positive weight.
 func (p *Pool) pickProcess() int {
 	x := p.rng.Float64()
 	acc := 0.0
+	last := 0
 	for i, pr := range p.procs {
+		if pr.weight <= 0 {
+			continue
+		}
 		acc += pr.weight
 		if x < acc {
 			return i
 		}
+		last = i
 	}
-	return 0
+	return last
 }
 
 // Source draws the network-level identity for one probe sent at time t.
@@ -177,13 +194,14 @@ func (p *Pool) Source(t time.Time) ProbeSource {
 	ts := uint32(uint64(p.procs[proc].offset) + uint64(p.procs[proc].rate*elapsed))
 
 	// Source ports: ~90% from the default Linux ephemeral range
-	// 32768–60999; the rest spread over 1024–65535 (observed minimum was
-	// 1212, never below 1024) — Figure 5.
+	// 32768–60999; the rest spread over 1212–65535 inclusive (Figure 5:
+	// the observed minimum was 1212, never below 1024, and the tail
+	// reaches all the way to 65535).
 	var port int
 	if p.rng.Float64() < 0.90 {
 		port = 32768 + p.rng.Intn(61000-32768)
 	} else {
-		port = 1212 + p.rng.Intn(65238-1212)
+		port = nonEphemeralPortMin + p.rng.Intn(nonEphemeralPortMax-nonEphemeralPortMin+1)
 	}
 
 	return ProbeSource{

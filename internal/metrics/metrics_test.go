@@ -1,0 +1,160 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := New()
+	c := r.Counter("flows")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if r.Counter("flows") != c {
+		t.Error("same name must return the same counter")
+	}
+
+	g := r.Gauge("pending")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Errorf("gauge = %d, want 5", got)
+	}
+	g.Max(3)
+	if g.Value() != 5 {
+		t.Error("Max must not lower the gauge")
+	}
+	g.Max(9)
+	if g.Value() != 9 {
+		t.Error("Max must raise the gauge")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(3)
+	if c.Value() != 0 {
+		t.Error("nil counter must read 0")
+	}
+	g := r.Gauge("y")
+	g.Set(3)
+	g.Max(9)
+	if g.Value() != 0 {
+		t.Error("nil gauge must read 0")
+	}
+	h := r.Histogram("z", []float64{1})
+	h.Observe(0.5)
+	if h.Count() != 0 {
+		t.Error("nil histogram must stay empty")
+	}
+	if s := r.Snapshot(); len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Error("nil registry snapshot must be empty")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := New()
+	h := r.Histogram("delay_s", []float64{1, 60, 900})
+	for _, v := range []float64{0.3, 0.9, 1.0, 30, 899, 901, 1e6} {
+		h.Observe(v)
+	}
+	s := r.Snapshot()
+	if len(s.Histograms) != 1 {
+		t.Fatalf("histograms = %d, want 1", len(s.Histograms))
+	}
+	hs := s.Histograms[0]
+	// Inclusive upper bounds: 1.0 lands in the first bucket.
+	want := []int64{3, 1, 1, 2}
+	for i, c := range want {
+		if hs.Counts[i] != c {
+			t.Errorf("bucket %d = %d, want %d (counts %v)", i, hs.Counts[i], c, hs.Counts)
+		}
+	}
+	if hs.Count != 7 {
+		t.Errorf("count = %d, want 7", hs.Count)
+	}
+	if hs.Min != 0.3 || hs.Max != 1e6 {
+		t.Errorf("min/max = %g/%g", hs.Min, hs.Max)
+	}
+	wantSum := 0.3 + 0.9 + 1.0 + 30 + 899 + 901 + 1e6
+	if math.Abs(hs.Sum-wantSum) > 1e-9 {
+		t.Errorf("sum = %g, want %g", hs.Sum, wantSum)
+	}
+}
+
+// TestSnapshotDeterministic: two registries fed the same updates in
+// different orders render identical snapshots — the property the
+// sweep's byte-identity contract relies on.
+func TestSnapshotDeterministic(t *testing.T) {
+	build := func(order []string) string {
+		r := New()
+		for _, name := range order {
+			r.Counter(name).Add(int64(len(name)))
+		}
+		r.Gauge("g").Set(3)
+		r.Histogram("h", []float64{10, 100}).Observe(42)
+		var buf bytes.Buffer
+		if err := r.Snapshot().WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String() + r.Snapshot().String()
+	}
+	a := build([]string{"alpha", "beta", "gamma"})
+	b := build([]string{"gamma", "alpha", "beta"})
+	if a != b {
+		t.Errorf("snapshot depends on registration order:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestConcurrentCounters: integer instruments stay exact under
+// concurrent updates (the campaign worker-pool case).
+func TestConcurrentCounters(t *testing.T) {
+	r := New()
+	c := r.Counter("n")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %d, want 8000", c.Value())
+	}
+}
+
+func TestEmptyHistogramSnapshot(t *testing.T) {
+	r := New()
+	r.Histogram("empty", []float64{1})
+	hs := r.Snapshot().Histograms[0]
+	if !math.IsInf(hs.Min, 1) || !math.IsInf(hs.Max, -1) || hs.Count != 0 {
+		t.Errorf("empty histogram snapshot: %+v", hs)
+	}
+}
+
+// TestInstrumentAllocFree: pre-resolved instruments must not allocate
+// per update — the hot-path contract.
+func TestInstrumentAllocFree(t *testing.T) {
+	r := New()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", []float64{1, 10})
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.Set(4)
+		h.Observe(3.3)
+	}); n != 0 {
+		t.Errorf("instrument updates allocate %v allocs/op, want 0", n)
+	}
+}

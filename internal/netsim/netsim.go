@@ -8,13 +8,21 @@
 // A virtual clock makes four-month experiments run in milliseconds and
 // bit-for-bit reproducibly: all randomness is seeded and all event
 // ordering is total (time, then insertion sequence).
+//
+// The event loop is the innermost hot path of every experiment, so it is
+// allocation-free in steady state: events live by value in a hand-rolled
+// binary heap (no per-event boxing), and the AtCall/AfterCall variants
+// let schedulers with a long-lived callback avoid per-event closures.
+// Each Sim owns a metrics.Registry (see internal/metrics) that counts
+// scheduled/dispatched events and attempted/blocked flows; all counts
+// are driven by virtual time only, so snapshots are deterministic.
 package netsim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 
+	"sslab/internal/metrics"
 	"sslab/internal/reaction"
 )
 
@@ -22,67 +30,154 @@ import (
 // Shadowsocks experiment.
 var Epoch = time.Date(2019, 9, 29, 0, 0, 0, 0, time.UTC)
 
-// event is one scheduled callback.
+// event is one scheduled callback. Exactly one of fn and call is set:
+// fn is the closure form, call+arg the closure-free form (AtCall).
 type event struct {
-	at  time.Time
-	seq uint64
-	fn  func()
+	at   time.Time
+	seq  uint64
+	fn   func()
+	call func(any)
+	arg  any
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if !h[i].at.Equal(h[j].at) {
-		return h[i].at.Before(h[j].at)
+// before is the total event order: time, then insertion sequence.
+func (e *event) before(o *event) bool {
+	if !e.at.Equal(o.at) {
+		return e.at.Before(o.at)
 	}
-	return h[i].seq < h[j].seq
+	return e.seq < o.seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (h eventHeap) Peek() *event  { return h[0] }
 
 // Sim is the discrete-event scheduler with a virtual clock.
 type Sim struct {
 	now time.Time
-	pq  eventHeap
+	pq  []event // binary min-heap by (at, seq), events by value
 	seq uint64
+
+	// Metrics is the sim-owned registry; Network and middleboxes attach
+	// their instruments to it so one snapshot covers the whole substrate.
+	Metrics *metrics.Registry
+
+	scheduled  *metrics.Counter
+	dispatched *metrics.Counter
+	heapPeak   *metrics.Gauge
 }
 
 // NewSim returns a simulator starting at Epoch.
-func NewSim() *Sim { return &Sim{now: Epoch} }
+func NewSim() *Sim {
+	m := metrics.New()
+	return &Sim{
+		now:        Epoch,
+		Metrics:    m,
+		scheduled:  m.Counter("sim.events_scheduled"),
+		dispatched: m.Counter("sim.events_dispatched"),
+		heapPeak:   m.Gauge("sim.event_heap_peak"),
+	}
+}
 
 // Now returns the current virtual time.
 func (s *Sim) Now() time.Time { return s.now }
 
 // At schedules fn at absolute time t (clamped to now if in the past).
 func (s *Sim) At(t time.Time, fn func()) {
-	if t.Before(s.now) {
-		t = s.now
-	}
-	s.seq++
-	heap.Push(&s.pq, &event{at: t, seq: s.seq, fn: fn})
+	s.push(event{at: t, fn: fn})
 }
 
 // After schedules fn d from now.
 func (s *Sim) After(d time.Duration, fn func()) { s.At(s.now.Add(d), fn) }
 
+// AtCall schedules call(arg) at absolute time t (clamped to now if in
+// the past). It is the closure-free form of At: a scheduler that reuses
+// one long-lived call function and threads per-event state through arg
+// (a pointer, to stay boxing-free) schedules without allocating.
+func (s *Sim) AtCall(t time.Time, call func(any), arg any) {
+	s.push(event{at: t, call: call, arg: arg})
+}
+
+// AfterCall schedules call(arg) d from now without allocating a closure.
+func (s *Sim) AfterCall(d time.Duration, call func(any), arg any) {
+	s.AtCall(s.now.Add(d), call, arg)
+}
+
+// push inserts e into the heap with the next sequence number.
+func (s *Sim) push(e event) {
+	if e.at.Before(s.now) {
+		e.at = s.now
+	}
+	s.seq++
+	e.seq = s.seq
+	s.pq = append(s.pq, e)
+	s.siftUp(len(s.pq) - 1)
+	s.scheduled.Inc()
+	s.heapPeak.Max(int64(len(s.pq)))
+}
+
+// pop removes and returns the earliest event. len(s.pq) must be > 0.
+func (s *Sim) pop() event {
+	top := s.pq[0]
+	n := len(s.pq) - 1
+	s.pq[0] = s.pq[n]
+	s.pq[n] = event{} // drop fn/arg references so they can be collected
+	s.pq = s.pq[:n]
+	if n > 0 {
+		s.siftDown(0)
+	}
+	return top
+}
+
+func (s *Sim) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.pq[i].before(&s.pq[parent]) {
+			return
+		}
+		s.pq[i], s.pq[parent] = s.pq[parent], s.pq[i]
+		i = parent
+	}
+}
+
+func (s *Sim) siftDown(i int) {
+	n := len(s.pq)
+	for {
+		least := i
+		if l := 2*i + 1; l < n && s.pq[l].before(&s.pq[least]) {
+			least = l
+		}
+		if r := 2*i + 2; r < n && s.pq[r].before(&s.pq[least]) {
+			least = r
+		}
+		if least == i {
+			return
+		}
+		s.pq[i], s.pq[least] = s.pq[least], s.pq[i]
+		i = least
+	}
+}
+
+// dispatch advances the clock to e.at and runs its callback.
+func (s *Sim) dispatch(e *event) {
+	s.now = e.at
+	s.dispatched.Inc()
+	if e.call != nil {
+		e.call(e.arg)
+		return
+	}
+	e.fn()
+}
+
 // Run processes events until the queue is empty.
 func (s *Sim) Run() {
 	for len(s.pq) > 0 {
-		e := heap.Pop(&s.pq).(*event)
-		s.now = e.at
-		e.fn()
+		e := s.pop()
+		s.dispatch(&e)
 	}
 }
 
 // RunUntil processes events with at <= t, then advances the clock to t.
 func (s *Sim) RunUntil(t time.Time) {
-	for len(s.pq) > 0 && !s.pq.Peek().at.After(t) {
-		e := heap.Pop(&s.pq).(*event)
-		s.now = e.at
-		e.fn()
+	for len(s.pq) > 0 && !s.pq[0].at.After(t) {
+		e := s.pop()
+		s.dispatch(&e)
 	}
 	if s.now.Before(t) {
 		s.now = t
@@ -158,23 +253,34 @@ type Network struct {
 	boxes  []Middlebox
 	nextID uint64
 
-	// blockedIP drops the server->client direction for all ports of an
-	// IP; blockedPort for one endpoint only (§6: "block by port, or by IP
-	// address?").
-	blockedIP   map[string]bool
-	blockedPort map[Endpoint]bool
+	// Null routing drops the server->client direction, per IP (all
+	// ports) or per endpoint (§6: "block by port, or by IP address?").
+	// The stored value is the generation of the active rule: Unblock*If
+	// only clears a rule installed by the matching Block* call, so a
+	// stale scheduled unblock cannot clear a newer block (two servers
+	// sharing an IP, or a re-block racing a pending unblock).
+	blockedIP   map[string]uint64
+	blockedPort map[Endpoint]uint64
+	blockGen    uint64
 
 	// Flows counts all attempted flows (including blocked ones).
 	Flows int
+
+	flowsTotal   *metrics.Counter
+	flowsBlocked *metrics.Counter
+	probeFlows   *metrics.Counter
 }
 
 // NewNetwork creates an empty network on sim.
 func NewNetwork(sim *Sim) *Network {
 	return &Network{
-		Sim:         sim,
-		hosts:       map[Endpoint]Host{},
-		blockedIP:   map[string]bool{},
-		blockedPort: map[Endpoint]bool{},
+		Sim:          sim,
+		hosts:        map[Endpoint]Host{},
+		blockedIP:    map[string]uint64{},
+		blockedPort:  map[Endpoint]uint64{},
+		flowsTotal:   sim.Metrics.Counter("net.flows_total"),
+		flowsBlocked: sim.Metrics.Counter("net.flows_blocked"),
+		probeFlows:   sim.Metrics.Counter("net.flows_probe"),
 	}
 }
 
@@ -184,21 +290,55 @@ func (n *Network) AddHost(ep Endpoint, h Host) { n.hosts[ep] = h }
 // AddMiddlebox appends a middlebox to the border path.
 func (n *Network) AddMiddlebox(m Middlebox) { n.boxes = append(n.boxes, m) }
 
-// BlockIP null-routes the server->client direction for every port of ip.
-func (n *Network) BlockIP(ip string) { n.blockedIP[ip] = true }
+// BlockIP null-routes the server->client direction for every port of ip
+// and returns the rule's generation for UnblockIPIf.
+func (n *Network) BlockIP(ip string) uint64 {
+	n.blockGen++
+	n.blockedIP[ip] = n.blockGen
+	return n.blockGen
+}
 
-// BlockPort null-routes the server->client direction for one endpoint.
-func (n *Network) BlockPort(ep Endpoint) { n.blockedPort[ep] = true }
+// BlockPort null-routes the server->client direction for one endpoint
+// and returns the rule's generation for UnblockPortIf.
+func (n *Network) BlockPort(ep Endpoint) uint64 {
+	n.blockGen++
+	n.blockedPort[ep] = n.blockGen
+	return n.blockGen
+}
 
-// Unblock removes both kinds of rules for the endpoint.
+// Unblock unconditionally removes both kinds of rules for the endpoint.
+// Schedulers that may race a newer block should prefer the generation-
+// checked UnblockIPIf/UnblockPortIf.
 func (n *Network) Unblock(ep Endpoint) {
 	delete(n.blockedIP, ep.IP)
 	delete(n.blockedPort, ep)
 }
 
+// UnblockIPIf removes the IP rule only if it is still the one installed
+// by the BlockIP call that returned gen. It reports whether a rule was
+// removed.
+func (n *Network) UnblockIPIf(ip string, gen uint64) bool {
+	if n.blockedIP[ip] != gen {
+		return false
+	}
+	delete(n.blockedIP, ip)
+	return true
+}
+
+// UnblockPortIf removes the endpoint rule only if it is still the one
+// installed by the BlockPort call that returned gen. It reports whether
+// a rule was removed.
+func (n *Network) UnblockPortIf(ep Endpoint, gen uint64) bool {
+	if n.blockedPort[ep] != gen {
+		return false
+	}
+	delete(n.blockedPort, ep)
+	return true
+}
+
 // IsBlocked reports whether the endpoint's return direction is dropped.
 func (n *Network) IsBlocked(ep Endpoint) bool {
-	return n.blockedIP[ep.IP] || n.blockedPort[ep]
+	return n.blockedIP[ep.IP] != 0 || n.blockedPort[ep] != 0
 }
 
 // Connect performs one flow: client connects to server and sends
@@ -210,6 +350,10 @@ func (n *Network) IsBlocked(ep Endpoint) bool {
 func (n *Network) Connect(client, server Endpoint, firstPayload []byte, probe bool, generatedAt time.Time) Outcome {
 	n.Flows++
 	n.nextID++
+	n.flowsTotal.Inc()
+	if probe {
+		n.probeFlows.Inc()
+	}
 	if generatedAt.IsZero() {
 		generatedAt = n.Sim.Now()
 	}
@@ -229,6 +373,7 @@ func (n *Network) Connect(client, server Endpoint, firstPayload []byte, probe bo
 	// the handshake fails the client never sends its payload — so the
 	// middleboxes see nothing and the host sees a flow with no data.
 	if n.IsBlocked(server) {
+		n.flowsBlocked.Inc()
 		if h, ok := n.hosts[server]; ok {
 			silenced := *f
 			silenced.FirstPayload = nil

@@ -164,3 +164,110 @@ func TestBlocking(t *testing.T) {
 		t.Errorf("Flows = %d, want 4 (blocked attempts count)", n.Flows)
 	}
 }
+
+// TestAfterCall: the closure-free scheduling form dispatches with the
+// same total ordering as After and passes the argument through.
+func TestAfterCall(t *testing.T) {
+	s := NewSim()
+	var got []int
+	collect := func(x any) { got = append(got, *x.(*int)) }
+	a, b, c := 2, 1, 3
+	s.AfterCall(2*time.Second, collect, &a)
+	s.AfterCall(1*time.Second, collect, &b)
+	s.AtCall(Epoch.Add(3*time.Second), collect, &c)
+	s.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+// TestEventDispatchAllocFree: steady-state schedule+dispatch with a
+// pre-bound callback must not allocate — the hot-path contract that
+// BenchmarkHotPath/EventDispatch enforces with a budget.
+func TestEventDispatchAllocFree(t *testing.T) {
+	s := NewSim()
+	n := 0
+	fn := func() { n++ }
+	// Warm the heap's capacity first.
+	for i := 0; i < 512; i++ {
+		s.After(time.Duration(i)*time.Millisecond, fn)
+	}
+	s.Run()
+	if allocs := testing.AllocsPerRun(200, func() {
+		for i := 0; i < 64; i++ {
+			s.After(time.Duration(i%16)*time.Millisecond, fn)
+		}
+		s.Run()
+	}); allocs != 0 {
+		t.Errorf("event schedule+dispatch allocates %v/run, want 0", allocs)
+	}
+}
+
+// TestGenerationUnblock: a stale unblock (carrying an old generation)
+// must not clear a newer rule, for both IP and port rules.
+func TestGenerationUnblock(t *testing.T) {
+	s := NewSim()
+	n := NewNetwork(s)
+	srv := Endpoint{IP: "10.0.0.9", Port: 8388}
+
+	gen1 := n.BlockIP(srv.IP)
+	gen2 := n.BlockIP(srv.IP) // re-block before the first unblock fires
+	if n.UnblockIPIf(srv.IP, gen1) {
+		t.Error("stale IP unblock cleared a newer rule")
+	}
+	if !n.IsBlocked(srv) {
+		t.Error("newer IP rule lost")
+	}
+	if !n.UnblockIPIf(srv.IP, gen2) {
+		t.Error("current IP unblock refused")
+	}
+	if n.IsBlocked(srv) {
+		t.Error("IP rule not cleared")
+	}
+
+	pg1 := n.BlockPort(srv)
+	pg2 := n.BlockPort(srv)
+	if n.UnblockPortIf(srv, pg1) {
+		t.Error("stale port unblock cleared a newer rule")
+	}
+	if !n.UnblockPortIf(srv, pg2) {
+		t.Error("current port unblock refused")
+	}
+	if n.IsBlocked(srv) {
+		t.Error("port rule not cleared")
+	}
+}
+
+// TestSimMetrics: the sim-owned registry counts events and flows.
+func TestSimMetrics(t *testing.T) {
+	s := NewSim()
+	n := NewNetwork(s)
+	srv := Endpoint{IP: "10.0.0.1", Port: 1}
+	n.AddHost(srv, HostFunc(func(*Flow) Outcome { return Outcome{Reaction: reaction.Data} }))
+	s.After(time.Second, func() {})
+	s.Run()
+	n.Connect(Endpoint{IP: "c", Port: 2}, srv, []byte("x"), false, time.Time{})
+	n.BlockPort(srv)
+	n.Connect(Endpoint{IP: "c", Port: 2}, srv, []byte("x"), true, time.Time{})
+
+	snap := s.Metrics.Snapshot()
+	want := map[string]int64{
+		"sim.events_scheduled":  1,
+		"sim.events_dispatched": 1,
+		"net.flows_total":       2,
+		"net.flows_blocked":     1,
+		"net.flows_probe":       1,
+	}
+	got := map[string]int64{}
+	for _, v := range snap.Counters {
+		got[v.Name] = v.Value
+	}
+	for name, w := range want {
+		if got[name] != w {
+			t.Errorf("%s = %d, want %d", name, got[name], w)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+// Package prof wires the conventional -cpuprofile/-memprofile flags
+// into a command: CPU sampling starts immediately, and the heap profile
+// is written (after a final GC) when the returned stop function runs.
+// The profiles are pprof-format files for `go tool pprof`.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins profiling. Either path may be empty to skip that profile.
+// The returned stop function must run exactly once, at the end of the
+// work being measured (defer it in main).
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("cpu profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("heap profile: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // report live objects, not garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("heap profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

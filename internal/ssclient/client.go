@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"sslab/internal/metrics"
 	"sslab/internal/socks"
 	"sslab/internal/sscrypto"
 	"sslab/internal/ssproto"
@@ -29,6 +30,9 @@ type Config struct {
 	// Shaper, if set, wraps the transport connection before the protocol
 	// runs — the hook the brdgrd defense uses to clamp segment sizes.
 	Shaper func(net.Conn) net.Conn
+	// Metrics, when set, receives ssclient.* counters. A nil registry is
+	// valid and makes every instrument a no-op.
+	Metrics *metrics.Registry
 }
 
 // Client dials targets through a Shadowsocks server.
@@ -36,6 +40,9 @@ type Client struct {
 	cfg  Config
 	spec sscrypto.Spec
 	key  []byte
+
+	mDials      *metrics.Counter
+	mDialErrors *metrics.Counter
 }
 
 // New validates cfg and returns a Client.
@@ -55,7 +62,13 @@ func New(cfg Config) (*Client, error) {
 			return net.DialTimeout(network, address, cfg.Timeout)
 		}
 	}
-	return &Client{cfg: cfg, spec: spec, key: spec.Key(cfg.Password)}, nil
+	return &Client{
+		cfg:         cfg,
+		spec:        spec,
+		key:         spec.Key(cfg.Password),
+		mDials:      cfg.Metrics.Counter("ssclient.dials"),
+		mDialErrors: cfg.Metrics.Counter("ssclient.dial_errors"),
+	}, nil
 }
 
 // Dial opens a proxied connection to target (host:port). The returned
@@ -66,12 +79,15 @@ func New(cfg Config) (*Client, error) {
 // mirroring real clients: the first data-carrying packet of the session is
 // [IV|salt][spec+data...] — the packet the GFW's detector measures.
 func (c *Client) Dial(target string) (net.Conn, error) {
+	c.mDials.Inc()
 	addr, err := socks.ParseAddr(target)
 	if err != nil {
+		c.mDialErrors.Inc()
 		return nil, err
 	}
 	transport, err := c.cfg.Dial("tcp", c.cfg.Server)
 	if err != nil {
+		c.mDialErrors.Inc()
 		return nil, err
 	}
 	if c.cfg.Shaper != nil {
@@ -82,6 +98,11 @@ func (c *Client) Dial(target string) (net.Conn, error) {
 }
 
 // proxiedConn prepends the target specification to the first write.
+//
+// mu is held across every underlying Write, not just the header
+// handoff: Read's header flush and a relay goroutine's data write can
+// run concurrently, and the cipher conns underneath (nonce counters,
+// reused write buffers) are single-writer by contract.
 type proxiedConn struct {
 	net.Conn
 	header []byte
@@ -90,12 +111,12 @@ type proxiedConn struct {
 
 func (p *proxiedConn) Write(b []byte) (int, error) {
 	p.mu.Lock()
-	header := p.header
-	p.header = nil
-	p.mu.Unlock()
-	if header == nil {
+	defer p.mu.Unlock()
+	if p.header == nil {
 		return p.Conn.Write(b)
 	}
+	header := p.header
+	p.header = nil
 	if _, err := p.Conn.Write(append(header, b...)); err != nil {
 		return 0, err
 	}
@@ -103,17 +124,20 @@ func (p *proxiedConn) Write(b []byte) (int, error) {
 }
 
 // Read flushes a pending header first (for protocols where the server
-// speaks first and the client must still announce its target).
+// speaks first and the client must still announce its target). The
+// lock is dropped before the blocking Conn.Read so writes proceed
+// while a read is parked.
 func (p *proxiedConn) Read(b []byte) (int, error) {
 	p.mu.Lock()
-	header := p.header
-	p.header = nil
-	p.mu.Unlock()
-	if header != nil {
+	if p.header != nil {
+		header := p.header
+		p.header = nil
 		if _, err := p.Conn.Write(header); err != nil {
+			p.mu.Unlock()
 			return 0, err
 		}
 	}
+	p.mu.Unlock()
 	return p.Conn.Read(b)
 }
 

@@ -139,3 +139,33 @@ func BenchmarkChaCha20Poly1305Seal(b *testing.B) {
 		dst = a.Seal(dst[:0], nonce, msg, nil)
 	}
 }
+
+// TestSealOpenAllocFree pins the per-chunk AEAD primitives at zero heap
+// allocations when the caller reuses its destination buffer — the shape
+// every relay loop in ssproto and ssserver uses.
+func TestSealOpenAllocFree(t *testing.T) {
+	aead, err := NewChaCha20Poly1305(make([]byte, ChaCha20KeySize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonce := make([]byte, aead.NonceSize())
+	msg := make([]byte, 1400)
+	dst := make([]byte, 0, len(msg)+aead.Overhead())
+	ct := aead.Seal(nil, nonce, msg, nil)
+	pt := make([]byte, 0, len(msg))
+
+	if allocs := testing.AllocsPerRun(200, func() {
+		dst = aead.Seal(dst[:0], nonce, msg, nil)
+	}); allocs != 0 {
+		t.Errorf("Seal with reused dst allocates %.1f times per call, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		var err error
+		pt, err = aead.Open(pt[:0], nonce, ct, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("Open with reused dst allocates %.1f times per call, want 0", allocs)
+	}
+}

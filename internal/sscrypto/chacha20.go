@@ -49,10 +49,21 @@ func NewChaCha20(key, nonce []byte) (*ChaCha20, error) {
 // counter, as needed by the RFC 8439 AEAD construction (counter 1 for the
 // body, counter 0 for the one-time Poly1305 key).
 func NewChaCha20WithCounter(key, nonce []byte, counter uint32) (*ChaCha20, error) {
-	if len(key) != ChaCha20KeySize {
-		return nil, errChaChaParams
+	c := &ChaCha20{}
+	if err := initChaCha20(c, key, nonce, counter); err != nil {
+		return nil, err
 	}
-	c := &ChaCha20{bufUsed: 64}
+	return c, nil
+}
+
+// initChaCha20 initializes c in place for (key, nonce, counter). The AEAD
+// hot path uses it with stack-allocated ChaCha20 values so that sealing
+// or opening a chunk performs no heap allocation.
+func initChaCha20(c *ChaCha20, key, nonce []byte, counter uint32) error {
+	if len(key) != ChaCha20KeySize {
+		return errChaChaParams
+	}
+	*c = ChaCha20{bufUsed: 64}
 	c.state[0] = 0x61707865
 	c.state[1] = 0x3320646e
 	c.state[2] = 0x79622d32
@@ -73,9 +84,9 @@ func NewChaCha20WithCounter(key, nonce []byte, counter uint32) (*ChaCha20, error
 		c.state[14] = binary.LittleEndian.Uint32(nonce[0:])
 		c.state[15] = binary.LittleEndian.Uint32(nonce[4:])
 	default:
-		return nil, errChaChaParams
+		return errChaChaParams
 	}
-	return c, nil
+	return nil
 }
 
 func quarterRound(a, b, c, d uint32) (uint32, uint32, uint32, uint32) {
@@ -142,10 +153,11 @@ func (c *ChaCha20) XORKeyStream(dst, src []byte) {
 }
 
 // chacha20Block64 writes one raw keystream block for (key, nonce, counter)
-// into out. Used to derive the Poly1305 one-time key.
+// into out. Used to derive the Poly1305 one-time key. The cipher state
+// lives on the stack: nothing escapes.
 func chacha20Block64(key, nonce []byte, counter uint32, out *[64]byte) error {
-	c, err := NewChaCha20WithCounter(key, nonce, counter)
-	if err != nil {
+	var c ChaCha20
+	if err := initChaCha20(&c, key, nonce, counter); err != nil {
 		return err
 	}
 	c.block()

@@ -9,8 +9,14 @@ import (
 // ChaCha20Poly1305 implements the RFC 8439 AEAD as a cipher.AEAD. It is the
 // cipher behind the Shadowsocks "chacha20-ietf-poly1305" method — the only
 // AEAD method OutlineVPN supports.
+//
+// An instance is NOT safe for concurrent use: it owns a MAC scratch
+// buffer so that steady-state Seal/Open perform no heap allocation. The
+// Shadowsocks construction derives one AEAD per connection direction,
+// which is exactly this single-user shape.
 type ChaCha20Poly1305 struct {
-	key [ChaCha20KeySize]byte
+	key    [ChaCha20KeySize]byte
+	macBuf []byte // scratch for the padded Poly1305 input
 }
 
 // ErrAuthFailed is returned by Open when the Poly1305 tag does not verify.
@@ -45,13 +51,14 @@ func (a *ChaCha20Poly1305) tag(out *[16]byte, nonce, ciphertext, additionalData 
 	var polyKey [32]byte
 	copy(polyKey[:], block[:32])
 
-	mac := make([]byte, 0, len(additionalData)+len(ciphertext)+32)
+	mac := a.macBuf[:0]
 	mac = append(mac, additionalData...)
 	mac = appendPad16(mac)
 	mac = append(mac, ciphertext...)
 	mac = appendPad16(mac)
 	mac = binary.LittleEndian.AppendUint64(mac, uint64(len(additionalData)))
 	mac = binary.LittleEndian.AppendUint64(mac, uint64(len(ciphertext)))
+	a.macBuf = mac // keep the grown capacity for the next chunk
 	Poly1305(out, mac, &polyKey)
 }
 
@@ -81,8 +88,8 @@ func (a *ChaCha20Poly1305) Seal(dst, nonce, plaintext, additionalData []byte) []
 	}
 	ct := dst[off : off+len(plaintext)]
 
-	s, err := NewChaCha20WithCounter(a.key[:], nonce, 1)
-	if err != nil {
+	var s ChaCha20 // stack-allocated: Seal itself must not heap-allocate
+	if err := initChaCha20(&s, a.key[:], nonce, 1); err != nil {
 		panic(err)
 	}
 	s.XORKeyStream(ct, plaintext)
@@ -121,8 +128,8 @@ func (a *ChaCha20Poly1305) Open(dst, nonce, ciphertext, additionalData []byte) (
 		copy(grown, dst)
 		dst = grown
 	}
-	s, err := NewChaCha20WithCounter(a.key[:], nonce, 1)
-	if err != nil {
+	var s ChaCha20 // stack-allocated: Open itself must not heap-allocate
+	if err := initChaCha20(&s, a.key[:], nonce, 1); err != nil {
 		return nil, err
 	}
 	s.XORKeyStream(dst[off:], ct)

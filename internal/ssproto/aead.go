@@ -34,8 +34,12 @@ type aeadConn struct {
 	wSalt  []byte
 	rSalt  []byte
 
-	rBuf  []byte // decrypted bytes not yet returned to the caller
-	rHead []byte // scratch for [2-byte length][tag]
+	rBuf   []byte  // decrypted bytes not yet returned to the caller
+	rStore []byte  // backing array for rBuf, reused across chunks
+	rHead  []byte  // scratch for [2-byte length][tag]
+	rCT    []byte  // reused payload-ciphertext scratch
+	wBuf   []byte  // reused wire-format scratch: steady-state writes don't allocate
+	lenBuf [2]byte // chunk length prefix plaintext
 }
 
 func (c *aeadConn) Salt() []byte     { return c.wSalt }
@@ -55,7 +59,7 @@ func incrementNonce(n []byte) {
 // the first data-carrying packet is [salt][len|tag][payload|tag], giving
 // the characteristic first-packet lengths the detector keys on.
 func (c *aeadConn) Write(p []byte) (int, error) {
-	var out []byte
+	out := c.wBuf[:0]
 	if c.wAEAD == nil {
 		salt := make([]byte, c.spec.SaltSize())
 		if _, err := io.ReadFull(c.rand, salt); err != nil {
@@ -77,13 +81,14 @@ func (c *aeadConn) Write(p []byte) (int, error) {
 		}
 		p = p[len(chunk):]
 
-		lenBytes := []byte{byte(len(chunk) >> 8), byte(len(chunk))}
-		out = c.wAEAD.Seal(out, c.wNonce, lenBytes, nil)
+		c.lenBuf[0], c.lenBuf[1] = byte(len(chunk)>>8), byte(len(chunk))
+		out = c.wAEAD.Seal(out, c.wNonce, c.lenBuf[:], nil)
 		incrementNonce(c.wNonce)
 		out = c.wAEAD.Seal(out, c.wNonce, chunk, nil)
 		incrementNonce(c.wNonce)
 		total += len(chunk)
 	}
+	c.wBuf = out[:0] // keep the grown capacity for the next write
 	if _, err := c.Conn.Write(out); err != nil {
 		return 0, err
 	}
@@ -126,8 +131,12 @@ func (c *aeadConn) Read(p []byte) (int, error) {
 		return 0, fmt.Errorf("%w: oversized chunk length %d", ErrAuth, n)
 	}
 
-	// Read and open the payload.
-	ct := make([]byte, n+c.rAEAD.Overhead())
+	// Read and open the payload into the reused ciphertext scratch
+	// (Open decrypts in place over ct's storage).
+	if cap(c.rCT) < n+c.rAEAD.Overhead() {
+		c.rCT = make([]byte, n+c.rAEAD.Overhead())
+	}
+	ct := c.rCT[:n+c.rAEAD.Overhead()]
 	if _, err := io.ReadFull(c.Conn, ct); err != nil {
 		return 0, err
 	}
@@ -137,7 +146,11 @@ func (c *aeadConn) Read(p []byte) (int, error) {
 	}
 	incrementNonce(c.rNonce)
 
+	// Leftover plaintext is copied to the front of the reused backing
+	// store (slicing rBuf forward on the drain path would otherwise
+	// bleed capacity until a reallocation).
 	copied := copy(p, plain)
-	c.rBuf = append(c.rBuf[:0], plain[copied:]...)
+	c.rStore = append(c.rStore[:0], plain[copied:]...)
+	c.rBuf = c.rStore
 	return copied, nil
 }

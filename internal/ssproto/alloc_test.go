@@ -1,0 +1,50 @@
+package ssproto
+
+import (
+	"math/rand"
+	"testing"
+
+	"sslab/internal/sscrypto"
+)
+
+// Steady-state relay writes are the per-packet hot path of both proxy
+// directions; these tests pin them at zero heap allocations so a buffer
+// regression fails fast instead of surfacing as a throughput cliff.
+
+func TestStreamWriteAllocFree(t *testing.T) {
+	spec, err := sscrypto.Lookup("aes-256-ctr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := NewConnWithRand(discardConn{}, spec, spec.Key("pw"), rand.New(rand.NewSource(1)))
+	buf := make([]byte, 1400)
+	if _, err := conn.Write(buf); err != nil { // IV flight, allowed to allocate
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		if _, err := conn.Write(buf); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("steady-state streamConn.Write allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+func TestAEADWriteAllocFree(t *testing.T) {
+	spec, err := sscrypto.Lookup("chacha20-ietf-poly1305")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := NewConnWithRand(discardConn{}, spec, spec.Key("pw"), rand.New(rand.NewSource(1)))
+	buf := make([]byte, 1400)
+	if _, err := conn.Write(buf); err != nil { // salt flight, allowed to allocate
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		if _, err := conn.Write(buf); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("steady-state aeadConn.Write allocates %.1f times per call, want 0", allocs)
+	}
+}

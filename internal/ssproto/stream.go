@@ -23,6 +23,8 @@ type streamConn struct {
 	rStream cipher.Stream
 	wIV     []byte
 	rIV     []byte
+
+	wBuf []byte // reused ciphertext scratch: steady-state writes don't allocate
 }
 
 func (c *streamConn) Salt() []byte     { return c.wIV }
@@ -43,7 +45,7 @@ func (c *streamConn) Write(p []byte) (int, error) {
 			return 0, err
 		}
 		c.wIV, c.wStream = iv, s
-		buf := make([]byte, len(iv)+len(p))
+		buf := c.scratch(len(iv) + len(p))
 		copy(buf, iv)
 		c.wStream.XORKeyStream(buf[len(iv):], p)
 		if _, err := c.Conn.Write(buf); err != nil {
@@ -51,12 +53,21 @@ func (c *streamConn) Write(p []byte) (int, error) {
 		}
 		return len(p), nil
 	}
-	buf := make([]byte, len(p))
+	buf := c.scratch(len(p))
 	c.wStream.XORKeyStream(buf, p)
 	if _, err := c.Conn.Write(buf); err != nil {
 		return 0, err
 	}
 	return len(p), nil
+}
+
+// scratch returns the write buffer resized to n, growing it only when a
+// larger write than any before comes through.
+func (c *streamConn) scratch(n int) []byte {
+	if cap(c.wBuf) < n {
+		c.wBuf = make([]byte, n)
+	}
+	return c.wBuf[:n]
 }
 
 // Read decrypts into p; the first Read consumes the peer's IV.

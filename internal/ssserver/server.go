@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sslab/internal/metrics"
 	"sslab/internal/reaction"
 	"sslab/internal/replay"
 	"sslab/internal/socks"
@@ -42,6 +43,9 @@ type Config struct {
 	Dial func(network, address string) (net.Conn, error)
 	// Logf, when set, receives debug logs.
 	Logf func(format string, args ...any)
+	// Metrics, when set, receives ssserver.* counters mirroring Stats.
+	// A nil registry is valid and makes every instrument a no-op.
+	Metrics *metrics.Registry
 }
 
 // Stats counts server activity; all fields are updated atomically.
@@ -66,6 +70,12 @@ type Server struct {
 
 	// Stats is exported for tests and monitoring.
 	Stats Stats
+
+	// Pre-resolved instruments (nil-safe when no registry is configured).
+	mAccepted   *metrics.Counter
+	mProxied    *metrics.Counter
+	mAuthErrors *metrics.Counter
+	mReplays    *metrics.Counter
 }
 
 // New creates a Server from cfg without binding a socket; use Serve with
@@ -93,7 +103,15 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
-	s := &Server{cfg: cfg, spec: spec, key: spec.Key(cfg.Password)}
+	s := &Server{
+		cfg:         cfg,
+		spec:        spec,
+		key:         spec.Key(cfg.Password),
+		mAccepted:   cfg.Metrics.Counter("ssserver.accepted"),
+		mProxied:    cfg.Metrics.Counter("ssserver.proxied"),
+		mAuthErrors: cfg.Metrics.Counter("ssserver.auth_errors"),
+		mReplays:    cfg.Metrics.Counter("ssserver.replays_blocked"),
+	}
 	switch {
 	case !cfg.Profile.ReplayDefense:
 		s.filter = replay.None{}
@@ -140,6 +158,7 @@ func (s *Server) Serve(l net.Listener) {
 			return
 		}
 		s.Stats.Accepted.Add(1)
+		s.mAccepted.Inc()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
@@ -207,6 +226,7 @@ func (s *Server) handleStream(c net.Conn) error {
 	}
 	if s.filter.Replay(iv, time.Now()) {
 		s.Stats.ReplaysBlocked.Add(1)
+		s.mReplays.Inc()
 		return errProtocol
 	}
 	dec, err := s.spec.NewStreamDecrypter(s.key, iv)
@@ -230,11 +250,14 @@ func (s *Server) handleStream(c net.Conn) error {
 		switch {
 		case derr == nil:
 			s.Stats.Proxied.Add(1)
+			s.mProxied.Inc()
+			s.mProxied.Inc()
 			return s.relayStream(c, dec, iv, target, plain[consumed:])
 		case errors.Is(derr, socks.ErrIncomplete):
 			if s.cfg.Profile.RSTOnError {
 				// Old libev: the whole spec must be in the first packet.
 				s.Stats.AuthErrors.Add(1)
+				s.mAuthErrors.Inc()
 				return errProtocol
 			}
 			// New libev keeps waiting for the rest.
@@ -247,6 +270,7 @@ func (s *Server) handleStream(c net.Conn) error {
 			plain = append(plain, tmp...)
 		default:
 			s.Stats.AuthErrors.Add(1)
+			s.mAuthErrors.Inc()
 			return errProtocol
 		}
 	}
@@ -327,6 +351,7 @@ func (s *Server) handleAEAD(c net.Conn) error {
 	}
 	if s.filter.Replay(salt, time.Now()) {
 		s.Stats.ReplaysBlocked.Add(1)
+		s.mReplays.Inc()
 		return errProtocol
 	}
 	aead, err := s.spec.NewAEAD(sscrypto.SessionSubkey(s.key, salt))
@@ -336,35 +361,47 @@ func (s *Server) handleAEAD(c net.Conn) error {
 	nonce := make([]byte, aead.NonceSize())
 	overhead := aead.Overhead()
 
+	// Per-connection scratch, reused across chunks: the returned plaintext
+	// aliases body and is only valid until the next readChunk call — both
+	// callers fully consume it before asking for the next chunk.
+	headLen := 2 + overhead
+	head := make([]byte, headLen, headLen+overhead+1)
+	lenScratch := make([]byte, 0, 2)
+	var body []byte
+
 	readChunk := func() ([]byte, error) {
-		head := make([]byte, 2+overhead)
+		head = head[:headLen]
 		if _, err := io.ReadFull(c, head); err != nil {
 			return nil, err
 		}
 		// Emulate libev's extra buffering: it does not attempt decryption
 		// until a payload tag could also be present.
 		if s.cfg.Profile.WaitPayloadTag {
-			peek := make([]byte, overhead+1)
-			if _, err := io.ReadFull(c, peek); err != nil {
+			head = head[:headLen+overhead+1]
+			if _, err := io.ReadFull(c, head[headLen:]); err != nil {
 				return nil, err
 			}
-			head = append(head, peek...)
 		}
-		lenPlain, err := aead.Open(nil, nonce, head[:2+overhead], nil)
+		lenPlain, err := aead.Open(lenScratch[:0], nonce, head[:headLen], nil)
 		if err != nil {
 			s.Stats.AuthErrors.Add(1)
+			s.mAuthErrors.Inc()
 			return nil, errProtocol
 		}
 		incNonce(nonce)
 		n := int(lenPlain[0])<<8 | int(lenPlain[1])
-		body := make([]byte, n+overhead)
-		already := copy(body, head[2+overhead:])
+		if cap(body) < n+overhead {
+			body = make([]byte, n+overhead)
+		}
+		body = body[:n+overhead]
+		already := copy(body, head[headLen:])
 		if _, err := io.ReadFull(c, body[already:]); err != nil {
 			return nil, err
 		}
-		plain, err := aead.Open(nil, nonce, body, nil)
+		plain, err := aead.Open(body[:0], nonce, body, nil)
 		if err != nil {
 			s.Stats.AuthErrors.Add(1)
+			s.mAuthErrors.Inc()
 			return nil, errProtocol
 		}
 		incNonce(nonce)
@@ -381,9 +418,11 @@ func (s *Server) handleAEAD(c net.Conn) error {
 	target, consumed, derr := socks.Decode(first, false)
 	if derr != nil {
 		s.Stats.AuthErrors.Add(1)
+		s.mAuthErrors.Inc()
 		return errProtocol
 	}
 	s.Stats.Proxied.Add(1)
+	s.mProxied.Inc()
 	return s.relayAEAD(c, target, first[consumed:], readChunk)
 }
 
@@ -430,11 +469,13 @@ func (s *Server) relayAEAD(c net.Conn, target socks.Addr, initial []byte, readCh
 			return
 		}
 		buf := make([]byte, 8*1024)
+		out := make([]byte, 0, 2+2*aead.Overhead()+len(buf))
+		var lb [2]byte
 		for {
 			n, err := remote.Read(buf)
 			if n > 0 {
-				out := make([]byte, 0, 2+16+n+16)
-				out = aead.Seal(out, nonce, []byte{byte(n >> 8), byte(n)}, nil)
+				lb[0], lb[1] = byte(n>>8), byte(n)
+				out = aead.Seal(out[:0], nonce, lb[:], nil)
 				incNonce(nonce)
 				out = aead.Seal(out, nonce, buf[:n], nil)
 				incNonce(nonce)
