@@ -6,17 +6,15 @@ import (
 	"testing"
 )
 
-// TestHotPathAllocBudgets enforces the allocs/op budgets recorded in
-// BENCH_hotpath.json: every BenchmarkHotPath sub-benchmark is run and
-// its measured allocations compared against the committed budget.
-// Budgets are allocation counts, not timings, so the test is stable
-// across hardware; a regression (a new per-op allocation sneaking into
-// a steady-state path) fails here and in the CI bench-smoke job.
-func TestHotPathAllocBudgets(t *testing.T) {
-	if testing.Short() {
-		t.Skip("runs full benchmarks; skipped with -short")
-	}
-	data, err := os.ReadFile("BENCH_hotpath.json")
+// checkAllocBudgets enforces the allocs/op budgets recorded in one
+// BENCH_*.json file: every listed sub-benchmark is run and its measured
+// allocations compared against the committed budget. Budgets are
+// allocation counts, not timings, so the checks are stable across
+// hardware; a regression (a new per-op allocation sneaking into a
+// steady-state path) fails here and in the CI bench-smoke job.
+func checkAllocBudgets(t *testing.T, file string, benches map[string]func(*testing.B)) {
+	t.Helper()
+	data, err := os.ReadFile(file)
 	if err != nil {
 		t.Fatalf("reading budgets: %v", err)
 	}
@@ -24,23 +22,15 @@ func TestHotPathAllocBudgets(t *testing.T) {
 		AllocBudgets map[string]int64 `json:"alloc_budgets"`
 	}
 	if err := json.Unmarshal(data, &doc); err != nil {
-		t.Fatalf("parsing BENCH_hotpath.json: %v", err)
-	}
-	benches := map[string]func(*testing.B){
-		"GFWOnFlow":       benchGFWOnFlow,
-		"EventDispatch":   benchEventDispatch,
-		"StreamConnWrite": benchStreamConnWrite,
-		"AEADConnWrite":   benchAEADConnWrite,
-		"AEADSeal":        benchAEADSeal,
-		"AEADOpen":        benchAEADOpen,
+		t.Fatalf("parsing %s: %v", file, err)
 	}
 	if len(doc.AllocBudgets) == 0 {
-		t.Fatal("BENCH_hotpath.json has no alloc_budgets")
+		t.Fatalf("%s has no alloc_budgets", file)
 	}
 	for name, fn := range benches {
 		budget, ok := doc.AllocBudgets[name]
 		if !ok {
-			t.Errorf("%s: no alloc budget in BENCH_hotpath.json", name)
+			t.Errorf("%s: no alloc budget in %s", name, file)
 			continue
 		}
 		res := testing.Benchmark(fn)
@@ -52,7 +42,35 @@ func TestHotPathAllocBudgets(t *testing.T) {
 	}
 	for name := range doc.AllocBudgets {
 		if _, ok := benches[name]; !ok {
-			t.Errorf("BENCH_hotpath.json budgets unknown benchmark %q", name)
+			t.Errorf("%s budgets unknown benchmark %q", file, name)
 		}
 	}
+}
+
+// TestHotPathAllocBudgets enforces BENCH_hotpath.json over the
+// steady-state per-flow pipeline benchmarks.
+func TestHotPathAllocBudgets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full benchmarks; skipped with -short")
+	}
+	checkAllocBudgets(t, "BENCH_hotpath.json", map[string]func(*testing.B){
+		"GFWOnFlow":       benchGFWOnFlow,
+		"EventDispatch":   benchEventDispatch,
+		"StreamConnWrite": benchStreamConnWrite,
+		"AEADConnWrite":   benchAEADConnWrite,
+		"AEADSeal":        benchAEADSeal,
+		"AEADOpen":        benchAEADOpen,
+	})
+}
+
+// TestImpairAllocBudgets enforces BENCH_impair.json: the fault-injecting
+// Connect path must stay on the ideal path's allocation profile (one
+// Flow per connection, nothing from the impairment machinery).
+func TestImpairAllocBudgets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full benchmarks; skipped with -short")
+	}
+	checkAllocBudgets(t, "BENCH_impair.json", map[string]func(*testing.B){
+		"ImpairedConnect": benchImpairedConnect,
+	})
 }

@@ -25,6 +25,7 @@ import (
 
 func BenchmarkHotPath(b *testing.B) {
 	b.Run("GFWOnFlow", benchGFWOnFlow)
+	b.Run("ImpairedConnect", benchImpairedConnect)
 	b.Run("EventDispatch", benchEventDispatch)
 	b.Run("StreamConnWrite", benchStreamConnWrite)
 	b.Run("AEADConnWrite", benchAEADConnWrite)
@@ -41,7 +42,7 @@ func BenchmarkHotPath(b *testing.B) {
 func benchGFWOnFlow(b *testing.B) {
 	sim := netsim.NewSim()
 	network := netsim.NewNetwork(sim)
-	censor := gfw.New(sim, network, gfw.Config{Seed: 7, PoolSize: 4000})
+	censor := gfw.New(gfw.Env{Sim: sim, Net: network}, gfw.WithConfig(gfw.Config{Seed: 7, PoolSize: 4000}))
 	network.AddMiddlebox(censor)
 
 	server := netsim.Endpoint{IP: "178.62.10.1", Port: 8388}
@@ -92,6 +93,33 @@ func benchGFWOnFlow(b *testing.B) {
 	}
 	sim.Run()
 	b.ReportMetric(float64(censor.ProbesSent)/float64(b.N), "probes/flow")
+}
+
+// benchImpairedConnect drives Connect down the impaired path: every
+// directed link carries latency, jitter, i.i.d. loss with retries, and
+// occasional reordering. Arrival times are computed, not scheduled, so
+// the budget in BENCH_impair.json holds this path to the same standard
+// as the ideal one: no per-flow allocations.
+func benchImpairedConnect(b *testing.B) {
+	sim := netsim.NewSim(netsim.WithSeed(5))
+	network := netsim.NewNetwork(sim, netsim.WithDefaultLink(netsim.LinkProfile{
+		LatencyBase:   30 * time.Millisecond,
+		Jitter:        10 * time.Millisecond,
+		Loss:          0.01,
+		ReorderProb:   0.01,
+		ReorderWindow: 20 * time.Millisecond,
+	}))
+	server := netsim.Endpoint{IP: "178.62.10.1", Port: 8388}
+	client := netsim.Endpoint{IP: "150.109.20.2", Port: 40001}
+	network.AddHost(server, netsim.HostFunc(func(f *netsim.Flow) netsim.Outcome {
+		return netsim.Outcome{Reaction: reaction.Data, ResponseLen: 600}
+	}))
+	payload := entropy.NewGenerator(3).Random(400)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		network.Connect(client, server, payload, false, time.Time{})
+	}
 }
 
 // benchEventDispatch measures the scheduler alone: schedule + dispatch

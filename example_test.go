@@ -32,6 +32,34 @@ func ExampleListenServer() {
 	// Output: hardened server reaction to an NR2 probe: TIMEOUT
 }
 
+// ExampleWithImpairment degrades every simulated link until nothing
+// survives: total loss with a single transmission attempt means no flow
+// ever reaches the censor, so the whole campaign deterministically
+// records zero triggers and zero probes. Dial the Loss down (or raise
+// Retry.Attempts) and the paper's pipeline comes back to life.
+func ExampleWithImpairment() {
+	dead := &sslab.LinkProfile{
+		Loss:  1,
+		Retry: sslab.RetryPolicy{Attempts: 1},
+	}
+	report, err := sslab.RunShadowsocksExperiment(sslab.ShadowsocksConfig{
+		Seed: 1, Days: 1, ConnsPerPairPerHour: 4,
+		GFW:    sslab.GFWConfig{PoolSize: 100},
+		Impair: dead,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("triggers:", report.Triggers)
+	fmt.Println("probes:", report.Probes)
+	fmt.Println("flows lost to the link:", report.LinkDroppedFlows > 0)
+	// Output:
+	// triggers: 0
+	// probes: 0
+	// flows lost to the link: true
+}
+
 // ExampleRunReactionMatrices regenerates one Figure 10b fingerprint: the
 // OutlineVPN v1.0.6 FIN/ACK band at exactly 50 bytes.
 func ExampleRunReactionMatrices() {

@@ -24,7 +24,7 @@ func main() {
 	log.SetFlags(0)
 	sim := netsim.NewSim()
 	network := netsim.NewNetwork(sim)
-	censor := gfw.New(sim, network, gfw.Config{Seed: 7, PoolSize: 3000})
+	censor := gfw.New(gfw.Env{Sim: sim, Net: network}, gfw.WithConfig(gfw.Config{Seed: 7, PoolSize: 3000}))
 	network.AddMiddlebox(censor)
 
 	outlineEP := netsim.Endpoint{IP: "178.62.30.1", Port: 443}

@@ -22,6 +22,12 @@ var Analyzer = &analysis.Analyzer{
 		"simulator/experiment packages; randomness must come from an " +
 		"injected, seeded *rand.Rand",
 	Scope: []string{
+		// The root facade (and its examples/benchmarks, which exercise
+		// the impairment API): nothing there may draw nondeterministic
+		// randomness either. Note the root is deliberately NOT in
+		// simclock's scope — its tests drive real sockets, where
+		// wall-clock deadlines are legitimate.
+		"sslab",
 		"sslab/internal/bloom",
 		"sslab/internal/campaign",
 		"sslab/internal/capture",

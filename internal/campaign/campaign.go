@@ -34,9 +34,9 @@
 package campaign
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
-	"sort"
 	"strconv"
 	"strings"
 )
@@ -220,9 +220,11 @@ func ParseParam(s string) (Param, error) {
 // ApplyParams applies overrides to cfg (a pointer to an experiment
 // config struct) through a JSON round trip, so the engine can drive
 // any registered experiment without knowing its config type. Each key
-// is a dotted path of exported fields; every path component must
-// already exist in the config's JSON form, so typos fail loudly with
-// the available keys listed.
+// is a dotted path of exported fields. Paths may descend into fields
+// the zero config elides from its JSON form (omitempty pointers such
+// as an experiment's Impair profile): missing intermediates are
+// created on the way down. Typos still fail loudly — the final decode
+// back into cfg rejects unknown fields.
 func ApplyParams(cfg any, params []Param) error {
 	if len(params) == 0 {
 		return nil
@@ -244,31 +246,31 @@ func ApplyParams(cfg any, params []Param) error {
 	if err != nil {
 		return err
 	}
-	if err := json.Unmarshal(b, cfg); err != nil {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(cfg); err != nil {
 		return fmt.Errorf("campaign: override does not fit the config: %v", err)
 	}
 	return nil
 }
 
+// setPath walks the dotted path and sets the leaf, creating missing
+// intermediate objects as it goes (fields a zero config elides via
+// omitempty/omitzero are absent from the marshaled map, not invalid).
+// Misspelled names are caught by ApplyParams' strict final decode.
 func setPath(m map[string]any, full string, path []string, value string) error {
 	key := path[0]
-	cur, ok := m[key]
-	if !ok {
-		keys := make([]string, 0, len(m))
-		for k := range m {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		return fmt.Errorf("campaign: no config field %q in %q (have: %s)",
-			key, full, strings.Join(keys, ", "))
-	}
 	if len(path) == 1 {
 		m[key] = parseValue(value)
 		return nil
 	}
-	sub, ok := cur.(map[string]any)
+	sub, ok := m[key].(map[string]any)
 	if !ok {
-		return fmt.Errorf("campaign: %q: %q is not a nested object", full, key)
+		if cur, exists := m[key]; exists && cur != nil {
+			return fmt.Errorf("campaign: %q: %q is not a nested object", full, key)
+		}
+		sub = map[string]any{}
+		m[key] = sub
 	}
 	return setPath(sub, full, path[1:], value)
 }

@@ -214,6 +214,28 @@ func TestRunValidates(t *testing.T) {
 	}
 }
 
+// TestImpairedSweepWorkerIndependence is the impairment determinism
+// contract end-to-end: a sweep whose grid cells inject loss and jitter
+// merges to the same bytes under -workers 1 and -workers 4. Per-link
+// impairment PRNGs are forked from (sim seed, endpoint IPs), never from
+// scheduling, so shard results cannot depend on which worker ran them.
+func TestImpairedSweepWorkerIndependence(t *testing.T) {
+	spec := Spec{
+		Experiment: "banstudy",
+		Seeds:      []int64{1, 2},
+		Base:       []Param{{Key: "Triggers", Value: "400"}, {Key: "GFW.PoolSize", Value: "64"}},
+		Grid: []Axis{
+			{Key: "Impair.Loss", Values: []string{"0", "0.02"}},
+			{Key: "Impair.Jitter", Values: []string{"0", "50000000"}},
+		},
+	}
+	base := mergedBytes(t, spec, Options{Workers: 1})
+	got := mergedBytes(t, spec, Options{Workers: 4})
+	if !bytes.Equal(base, got) {
+		t.Fatalf("impaired sweep differs between -workers 1 and -workers 4:\n%s\nvs\n%s", base, got)
+	}
+}
+
 // TestRegistryShard runs one real (tiny) registry experiment through
 // the engine, grid overrides included.
 func TestRegistryShard(t *testing.T) {
@@ -247,14 +269,27 @@ func TestApplyParams(t *testing.T) {
 	}
 
 	err := ApplyParams(cfg, []Param{{Key: "NoSuchField", Value: "1"}})
-	if err == nil || !strings.Contains(err.Error(), "have:") {
-		t.Errorf("typo should fail listing available keys, got %v", err)
+	if err == nil || !strings.Contains(err.Error(), "unknown field") {
+		t.Errorf("typo should fail the strict decode, got %v", err)
 	}
 	if err := ApplyParams(cfg, []Param{{Key: "Days.Nested", Value: "1"}}); err == nil {
 		t.Error("path through a scalar accepted")
 	}
 	if err := ApplyParams(cfg, []Param{{Key: "Days", Value: "not-a-number"}}); err == nil {
 		t.Error("type-mismatched override accepted")
+	}
+
+	// Paths through omitted optional fields create the intermediates:
+	// the zero config has no Impair key, yet the grid can sweep it.
+	if err := ApplyParams(cfg, []Param{{Key: "Impair.Loss", Value: "0.02"}}); err != nil {
+		t.Fatalf("override through omitted Impair pointer: %v", err)
+	}
+	if cfg.Impair == nil || cfg.Impair.Loss != 0.02 {
+		t.Errorf("Impair.Loss override not applied: %+v", cfg.Impair)
+	}
+	err = ApplyParams(cfg, []Param{{Key: "Impair.NoSuchKnob", Value: "1"}})
+	if err == nil || !strings.Contains(err.Error(), "unknown field") {
+		t.Errorf("typo below a created intermediate should fail, got %v", err)
 	}
 }
 

@@ -35,7 +35,7 @@ type Lab struct {
 func NewLab(cfg gfw.Config) *Lab {
 	sim := netsim.NewSim()
 	net := netsim.NewNetwork(sim)
-	g := gfw.New(sim, net, cfg)
+	g := gfw.NewWithConfig(sim, net, cfg)
 	net.AddMiddlebox(g)
 	return &Lab{Sim: sim, Net: net, GFW: g}
 }

@@ -23,6 +23,9 @@ type BlockingConfig struct {
 	// during congresses and anniversaries).
 	Sensitivity float64
 	GFW         gfw.Config
+	// Impair, when set, applies a link-impairment profile to every
+	// simulated link; nil keeps the idealized lossless network.
+	Impair *netsim.LinkProfile `json:"Impair,omitempty"`
 }
 
 func (c BlockingConfig) withDefaults() BlockingConfig {
@@ -65,12 +68,11 @@ type BlockingReport struct {
 // survive the same probing.
 func BlockingExperiment(cfg BlockingConfig) (*BlockingReport, error) {
 	cfg = cfg.withDefaults()
-	sim := netsim.NewSim()
-	net := netsim.NewNetwork(sim)
+	sim, net := simNet(cfg.Seed, cfg.Impair)
 	gcfg := cfg.GFW
 	gcfg.Seed = seedfork.Fork(cfg.Seed, "blocking.gfw")
 	gcfg.Sensitivity = cfg.Sensitivity
-	g := gfw.New(sim, net, gcfg)
+	g := gfw.New(gfw.Env{Sim: sim, Net: net}, gfw.WithConfig(gcfg))
 	net.AddMiddlebox(g)
 
 	type entry struct {

@@ -33,6 +33,9 @@ type BrdgrdConfig struct {
 	// defeating the detector.
 	WindowMin, WindowMax int
 	GFW                  gfw.Config
+	// Impair, when set, applies a link-impairment profile to every
+	// simulated link; nil keeps the idealized lossless network.
+	Impair *netsim.LinkProfile `json:"Impair,omitempty"`
 }
 
 func (c BrdgrdConfig) withDefaults() BrdgrdConfig {
@@ -72,11 +75,10 @@ type BrdgrdReport struct {
 // brdgrd toggling, plus an identical control pair without brdgrd.
 func BrdgrdExperiment(cfg BrdgrdConfig) (*BrdgrdReport, error) {
 	cfg = cfg.withDefaults()
-	sim := netsim.NewSim()
-	net := netsim.NewNetwork(sim)
+	sim, net := simNet(cfg.Seed, cfg.Impair)
 	gcfg := cfg.GFW
 	gcfg.Seed = seedfork.Fork(cfg.Seed, "brdgrd.gfw")
-	g := gfw.New(sim, net, gcfg)
+	g := gfw.New(gfw.Env{Sim: sim, Net: net}, gfw.WithConfig(gcfg))
 	net.AddMiddlebox(g)
 
 	spec, err := sscrypto.Lookup("aes-256-gcm")

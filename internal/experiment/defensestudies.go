@@ -19,6 +19,9 @@ type BanStudyConfig struct {
 	Seed     int64
 	Triggers int // default 300000
 	GFW      gfw.Config
+	// Impair, when set, applies a link-impairment profile to every
+	// simulated link; nil keeps the idealized lossless network.
+	Impair *netsim.LinkProfile `json:"Impair,omitempty"`
 }
 
 // BanStudyReport quantifies §3.3's claim that banning prober IPs is a
@@ -44,11 +47,10 @@ func BanStudy(cfg BanStudyConfig) (*BanStudyReport, error) {
 	if cfg.Triggers == 0 {
 		cfg.Triggers = 300000
 	}
-	sim := netsim.NewSim()
-	net := netsim.NewNetwork(sim)
+	sim, net := simNet(cfg.Seed, cfg.Impair)
 	gcfg := cfg.GFW
 	gcfg.Seed = seedfork.Fork(cfg.Seed, "banstudy.gfw")
-	g := gfw.New(sim, net, gcfg)
+	g := gfw.New(gfw.Env{Sim: sim, Net: net}, gfw.WithConfig(gcfg))
 	net.AddMiddlebox(g)
 	server := netsim.Endpoint{IP: "178.62.60.1", Port: 443}
 	client := netsim.Endpoint{IP: "150.109.60.1", Port: 40000}
@@ -102,6 +104,9 @@ type MimicStudyConfig struct {
 	Seed     int64
 	Triggers int // per server; default 200000
 	GFW      gfw.Config
+	// Impair, when set, applies a link-impairment profile to every
+	// simulated link; nil keeps the idealized lossless network.
+	Impair *netsim.LinkProfile `json:"Impair,omitempty"`
 }
 
 // MimicStudyReport compares a TLS-framed Shadowsocks deployment against a
@@ -127,12 +132,11 @@ func MimicStudy(cfg MimicStudyConfig) (*MimicStudyReport, error) {
 	framing := defense.TLSRecordFraming{}
 
 	run := func(whitelist, framed bool, cell int64) (int, error) {
-		sim := netsim.NewSim()
-		net := netsim.NewNetwork(sim)
+		sim, net := simNet(cfg.Seed, cfg.Impair)
 		gcfg := cfg.GFW
 		gcfg.Seed = seedfork.Fork(cfg.Seed, "mimic.gfw", cell)
 		gcfg.TLSWhitelist = whitelist
-		g := gfw.New(sim, net, gcfg)
+		g := gfw.New(gfw.Env{Sim: sim, Net: net}, gfw.WithConfig(gcfg))
 		net.AddMiddlebox(g)
 		server := netsim.Endpoint{IP: "178.62.61.1", Port: 443}
 		client := netsim.Endpoint{IP: "150.109.61.1", Port: 40000}

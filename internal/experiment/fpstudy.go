@@ -18,6 +18,9 @@ type FPStudyConfig struct {
 	Seed         int64
 	FlowsPerKind int // default 150000
 	GFW          gfw.Config
+	// Impair, when set, applies a link-impairment profile to every
+	// simulated link; nil keeps the idealized lossless network.
+	Impair *netsim.LinkProfile `json:"Impair,omitempty"`
 }
 
 // FPClassResult is the probing exposure of one traffic class.
@@ -88,11 +91,10 @@ func FPStudy(cfg FPStudyConfig) (*FPStudyReport, error) {
 
 	report := &FPStudyReport{Config: cfg}
 	for i, c := range classes {
-		sim := netsim.NewSim()
-		net := netsim.NewNetwork(sim)
+		sim, net := simNet(cfg.Seed, cfg.Impair)
 		gcfg := cfg.GFW
 		gcfg.Seed = seedfork.Fork(cfg.Seed, "fpstudy.gfw", int64(i))
-		g := gfw.New(sim, net, gcfg)
+		g := gfw.New(gfw.Env{Sim: sim, Net: net}, gfw.WithConfig(gcfg))
 		net.AddMiddlebox(g)
 		server := netsim.Endpoint{IP: fmt.Sprintf("178.62.50.%d", i+1), Port: 443}
 		client := netsim.Endpoint{IP: fmt.Sprintf("150.109.50.%d", i+1), Port: 40000}

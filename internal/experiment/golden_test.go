@@ -1,0 +1,122 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sslab/internal/gfw"
+)
+
+// updateGolden rewrites the committed golden reports. Run
+//
+//	go test ./internal/experiment -run TestGoldenZeroImpairment -update-golden
+//
+// only when an intentional behaviour change is being made; the files
+// exist to prove that refactors (and the impairment layer with all
+// impairments zeroed) leave every experiment's report byte-identical.
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden reports")
+
+// goldenCases are compact configurations of every netsim-backed
+// experiment. They are intentionally small (each runs in a second or
+// two) but exercise the full pipeline: traffic generation, the passive
+// detector, staged probing, the prober pool, and blocking.
+func goldenCases() []struct {
+	name string
+	run  func() (Report, error)
+} {
+	return []struct {
+		name string
+		run  func() (Report, error)
+	}{
+		{"shadowsocks", func() (Report, error) {
+			return ShadowsocksExperiment(ShadowsocksConfig{
+				Seed: 1, Days: 4, ConnsPerPairPerHour: 30,
+				GFW: gfw.Config{PoolSize: 2000},
+			})
+		}},
+		{"sink", func() (Report, error) {
+			return SinkExperiments(SinkConfig{
+				Seed: 1, Hours: 30, ConnsPerHour: 600,
+				GFW: gfw.Config{PoolSize: 1500},
+			})
+		}},
+		{"blocking", func() (Report, error) {
+			return BlockingExperiment(BlockingConfig{
+				Seed: 1, Days: 5,
+				GFW: gfw.Config{PoolSize: 1500},
+			})
+		}},
+		{"brdgrd", func() (Report, error) {
+			return BrdgrdExperiment(BrdgrdConfig{
+				Seed: 1, Hours: 60, OnWindows: [][2]int{{15, 30}},
+				GFW: gfw.Config{PoolSize: 1500},
+			})
+		}},
+		{"fpstudy", func() (Report, error) {
+			return FPStudy(FPStudyConfig{
+				Seed: 1, FlowsPerKind: 15000,
+				GFW: gfw.Config{PoolSize: 1000},
+			})
+		}},
+		{"banstudy", func() (Report, error) {
+			return BanStudy(BanStudyConfig{
+				Seed: 1, Triggers: 40000,
+				GFW: gfw.Config{PoolSize: 1500},
+			})
+		}},
+		{"mimicstudy", func() (Report, error) {
+			return MimicStudy(MimicStudyConfig{
+				Seed: 1, Triggers: 20000,
+				GFW: gfw.Config{PoolSize: 1000},
+			})
+		}},
+	}
+}
+
+// TestGoldenZeroImpairment locks the JSON report of each experiment to
+// the committed golden bytes. Any change to simulator behaviour under
+// default (zero-impairment) conditions — RNG draw order, event
+// ordering, report field sets — fails here, which is the acceptance
+// gate for the impairment layer: with all impairments zeroed the merged
+// reports must be byte-identical to the pre-impairment output.
+func TestGoldenZeroImpairment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs several compact experiments; skipped with -short")
+	}
+	for _, tc := range goldenCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			rep, err := tc.run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := json.MarshalIndent(rep, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+			path := filepath.Join("testdata", "golden", tc.name+".json")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("reading golden (run with -update-golden to create): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("%s report diverged from golden %s (%d vs %d bytes); "+
+					"zero-impairment output must stay byte-identical — if the change is intentional, regenerate with -update-golden",
+					tc.name, path, len(got), len(want))
+			}
+		})
+	}
+}

@@ -1,0 +1,20 @@
+package experiment
+
+import (
+	"sslab/internal/netsim"
+)
+
+// simNet builds the simulation substrate every netsim-backed experiment
+// shares: a sim rooted at seed (so link-impairment streams are
+// reproducible per experiment seed) and a network carrying the optional
+// impairment profile on every link. A nil profile — the default for all
+// experiment configs — yields the historical ideal network and
+// byte-identical reports.
+func simNet(seed int64, impair *netsim.LinkProfile) (*netsim.Sim, *netsim.Network) {
+	sim := netsim.NewSim(netsim.WithSeed(seed))
+	var opts []netsim.NetworkOption
+	if impair != nil {
+		opts = append(opts, netsim.WithDefaultLink(*impair))
+	}
+	return sim, netsim.NewNetwork(sim, opts...)
+}

@@ -180,6 +180,23 @@ var runners = []Runner{
 		},
 		run: func(cfg MatrixConfig) (Report, error) { return ReactionMatrices(cfg) },
 	},
+	runner[RobustnessConfig]{
+		name: "robustness",
+		config: func(seed int64, full bool) RobustnessConfig {
+			cfg := RobustnessConfig{Seed: seed}
+			if !full {
+				// 2×2 grid at compact scales: enough to exercise the
+				// impaired path and the verdicts without full sweeps.
+				cfg.Loss = []float64{0, 0.02}
+				cfg.JitterMs = []int{0, 50}
+				cfg.Days = 2
+				cfg.Hours = 20
+				cfg.GFW = gfw.Config{PoolSize: 2000}
+			}
+			return cfg
+		},
+		run: func(cfg RobustnessConfig) (Report, error) { return Robustness(cfg) },
+	},
 }
 
 // Runners returns the registry in presentation order.

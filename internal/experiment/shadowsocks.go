@@ -30,6 +30,10 @@ type ShadowsocksConfig struct {
 	// GFW overrides parts of the censor configuration (Seed is forced to
 	// the experiment seed).
 	GFW gfw.Config
+	// Impair, when set, applies a link-impairment profile to every
+	// simulated link (loss, jitter, outages — see netsim.LinkProfile).
+	// nil keeps the idealized lossless network.
+	Impair *netsim.LinkProfile `json:"Impair,omitempty"`
 }
 
 func (c ShadowsocksConfig) withDefaults() ShadowsocksConfig {
@@ -92,6 +96,21 @@ type ShadowsocksReport struct {
 	// Figure 4.
 	Overlap capture.Overlap
 
+	// Probe-delivery accounting under link impairment (the prober's
+	// retry-with-timeout path): probes whose connects died on lossy
+	// links, the retries that followed, and probes reclassified as
+	// timeouts because the impaired round trip outlasted the prober's
+	// patience. All zero on ideal links, so unimpaired reports are
+	// byte-identical to pre-impairment ones.
+	ProbeDrops    int `json:"ProbeDrops,omitzero"`
+	ProbeRetries  int `json:"ProbeRetries,omitzero"`
+	ProbeTimeouts int `json:"ProbeTimeouts,omitzero"`
+	// Link-level impairment accounting from the sim's metrics registry:
+	// transport retransmissions absorbed by the links, and flows lost
+	// after every retry. Zero on ideal links.
+	LinkRetransmits  int64 `json:"LinkRetransmits,omitzero"`
+	LinkDroppedFlows int64 `json:"LinkDroppedFlows,omitzero"`
+
 	// Log is the raw probe capture for further analysis. It is excluded
 	// from the report's JSON form (shard reports must stay compact;
 	// use cmd/gfwsim -dump for the full capture).
@@ -103,11 +122,10 @@ type ShadowsocksReport struct {
 // virtual time under the GFW model.
 func ShadowsocksExperiment(cfg ShadowsocksConfig) (*ShadowsocksReport, error) {
 	cfg = cfg.withDefaults()
-	sim := netsim.NewSim()
-	net := netsim.NewNetwork(sim)
+	sim, net := simNet(cfg.Seed, cfg.Impair)
 	gcfg := cfg.GFW
 	gcfg.Seed = seedfork.Fork(cfg.Seed, "shadowsocks.gfw")
-	g := gfw.New(sim, net, gcfg)
+	g := gfw.New(gfw.Env{Sim: sim, Net: net}, gfw.WithConfig(gcfg))
 	net.AddMiddlebox(g)
 
 	type pair struct {
@@ -186,9 +204,15 @@ func ShadowsocksExperiment(cfg ShadowsocksConfig) (*ShadowsocksReport, error) {
 	}
 	sim.Run()
 
-	return buildShadowsocksReport(cfg, g, pairs, controlHost, func(p *pair) (string, reaction.Profile, string, netsim.Endpoint, *ServerHost) {
+	rep, err := buildShadowsocksReport(cfg, g, pairs, controlHost, func(p *pair) (string, reaction.Profile, string, netsim.Endpoint, *ServerHost) {
 		return p.name, p.profile, p.method, p.server, p.host
 	})
+	if err != nil {
+		return nil, err
+	}
+	rep.LinkRetransmits = sim.Metrics.Counter("net.impair_retransmits").Value()
+	rep.LinkDroppedFlows = sim.Metrics.Counter("net.impair_dropped_flows").Value()
+	return rep, nil
 }
 
 // buildShadowsocksReport assembles the report (generic over the pair type
@@ -200,6 +224,9 @@ func buildShadowsocksReport[T any](cfg ShadowsocksConfig, g *gfw.GFW, pairs []T,
 	r.Triggers = g.Triggers
 	r.Probes = g.Log.Len()
 	r.ControlProbes = control.ProbesSeen
+	r.ProbeDrops = g.ProbeDrops
+	r.ProbeRetries = g.ProbeRetries
+	r.ProbeTimeouts = g.ProbeTimeouts
 
 	// Per-pair type analysis.
 	typeByDst := map[string]map[probe.Type]int{}

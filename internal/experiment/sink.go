@@ -23,6 +23,9 @@ type SinkConfig struct {
 	// default 3000).
 	ConnsPerHour int
 	GFW          gfw.Config
+	// Impair, when set, applies a link-impairment profile to every
+	// simulated link; nil keeps the idealized lossless network.
+	Impair *netsim.LinkProfile `json:"Impair,omitempty"`
 }
 
 func (c SinkConfig) withDefaults() SinkConfig {
@@ -66,6 +69,17 @@ type SinkReport struct {
 	// responding switch (Exp 1.a → 1.b).
 	Stage2BeforeSwitch int
 	Stage2AfterSwitch  int
+
+	// Probe-delivery accounting under link impairment for Exp 1 (the
+	// run behind Figure 8). All zero on ideal links, so unimpaired
+	// reports are byte-identical to pre-impairment ones.
+	ProbeDrops    int `json:"ProbeDrops,omitzero"`
+	ProbeRetries  int `json:"ProbeRetries,omitzero"`
+	ProbeTimeouts int `json:"ProbeTimeouts,omitzero"`
+	// Link-level impairment accounting for Exp 1 (see
+	// ShadowsocksReport). Zero on ideal links.
+	LinkRetransmits  int64 `json:"LinkRetransmits,omitzero"`
+	LinkDroppedFlows int64 `json:"LinkDroppedFlows,omitzero"`
 }
 
 // SinkExperiments runs Exps 1.a, 1.b, 2 and 3 of Table 4.
@@ -74,11 +88,10 @@ func SinkExperiments(cfg SinkConfig) (*SinkReport, error) {
 	report := &SinkReport{Config: cfg}
 
 	// --- Exp 1.a + 1.b: high entropy, sink for Hours, then responding. ---
-	sim := netsim.NewSim()
-	net := netsim.NewNetwork(sim)
+	sim, net := simNet(cfg.Seed, cfg.Impair)
 	gcfg := cfg.GFW
 	gcfg.Seed = seedfork.Fork(cfg.Seed, "sink.exp1.gfw")
-	g := gfw.New(sim, net, gcfg)
+	g := gfw.New(gfw.Env{Sim: sim, Net: net}, gfw.WithConfig(gcfg))
 	net.AddMiddlebox(g)
 
 	server := netsim.Endpoint{IP: "178.62.10.1", Port: 443}
@@ -140,6 +153,11 @@ func SinkExperiments(cfg SinkConfig) (*SinkReport, error) {
 			Triggers: triggers1b, Probes: total(count1b), TypeCounts: count1b},
 	)
 	report.fillFigure8(replayLens)
+	report.ProbeDrops = g.ProbeDrops
+	report.ProbeRetries = g.ProbeRetries
+	report.ProbeTimeouts = g.ProbeTimeouts
+	report.LinkRetransmits = sim.Metrics.Counter("net.impair_retransmits").Value()
+	report.LinkDroppedFlows = sim.Metrics.Counter("net.impair_dropped_flows").Value()
 
 	// --- Exp 2: low entropy (<2), sink. ---
 	row2, _, err := runSinkVariant(cfg, "exp2", func(gen *entropy.Generator) []byte {
@@ -172,11 +190,10 @@ func total(m map[probe.Type]int) int {
 
 // runSinkVariant runs one sink experiment with a payload generator.
 func runSinkVariant(cfg SinkConfig, variant string, payload func(*entropy.Generator) []byte) (ExpRow, *capture.Log, error) {
-	sim := netsim.NewSim()
-	net := netsim.NewNetwork(sim)
+	sim, net := simNet(cfg.Seed, cfg.Impair)
 	gcfg := cfg.GFW
 	gcfg.Seed = seedfork.Fork(cfg.Seed, "sink."+variant+".gfw")
-	g := gfw.New(sim, net, gcfg)
+	g := gfw.New(gfw.Env{Sim: sim, Net: net}, gfw.WithConfig(gcfg))
 	net.AddMiddlebox(g)
 	server := netsim.Endpoint{IP: "178.62.10.2", Port: 443}
 	client := netsim.Endpoint{IP: "150.109.10.2", Port: 40001}
@@ -207,11 +224,10 @@ func runSinkVariant(cfg SinkConfig, variant string, payload func(*entropy.Genera
 
 // runExp3 runs experiment 3 tracking per-trigger entropy bins for Figure 9.
 func runExp3(cfg SinkConfig) (ExpRow, *capture.Log, []int, error) {
-	sim := netsim.NewSim()
-	net := netsim.NewNetwork(sim)
+	sim, net := simNet(cfg.Seed, cfg.Impair)
 	gcfg := cfg.GFW
 	gcfg.Seed = seedfork.Fork(cfg.Seed, "sink.exp3.gfw")
-	g := gfw.New(sim, net, gcfg)
+	g := gfw.New(gfw.Env{Sim: sim, Net: net}, gfw.WithConfig(gcfg))
 	net.AddMiddlebox(g)
 	server := netsim.Endpoint{IP: "178.62.10.3", Port: 443}
 	client := netsim.Endpoint{IP: "150.109.10.3", Port: 40002}

@@ -94,7 +94,7 @@ func TestSharedIPStaleUnblock(t *testing.T) {
 	for seed := int64(0); seed < 500; seed++ {
 		sim := netsim.NewSim()
 		nw := netsim.NewNetwork(sim)
-		g := New(sim, nw, Config{Seed: seed, Sensitivity: 1.0, PoolSize: 32})
+		g := New(Env{Sim: sim, Net: nw}, WithConfig(Config{Seed: seed, Sensitivity: 1.0, PoolSize: 32}))
 
 		sa := g.state(a)
 		sa.dataResponses, sa.fpScore = 10, 100

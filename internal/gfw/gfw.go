@@ -60,6 +60,19 @@ type Config struct {
 	// detector to avoid mass-probing the web — the conjecture the FPStudy
 	// motivates and the mechanism application-fronting tools (§8) rely on.
 	TLSWhitelist bool
+	// ProbeAttempts is how many times a prober re-sends a probe whose
+	// connection the network dropped (netsim.Outcome.Dropped — only
+	// possible over impaired links), default 3. Each retry draws a fresh
+	// pool source and re-sends the same payload after ProbeTimeout.
+	ProbeAttempts int `json:"ProbeAttempts,omitzero"`
+	// Timeouts bounds the prober's patience. Handshake is how long a
+	// prober waits for the server's reaction before recording a timeout
+	// (default 10s — the sub-10s prober patience the paper contrasts
+	// with server-side 60s defaults); it is also the spacing between
+	// probe retries. Reactions are reclassified to timeouts only when an
+	// impaired link delays them past this budget, so ideal-link runs are
+	// unaffected.
+	Timeouts netsim.Timeouts `json:"Timeouts,omitzero"`
 }
 
 func (c Config) withDefaults() Config {
@@ -77,6 +90,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MinDataResponses == 0 {
 		c.MinDataResponses = 2
+	}
+	if c.ProbeAttempts == 0 {
+		c.ProbeAttempts = 3
+	}
+	if c.Timeouts.Handshake == 0 {
+		c.Timeouts.Handshake = 10 * time.Second
 	}
 	return c
 }
@@ -112,22 +131,34 @@ type GFW struct {
 	slab []byte
 
 	// taskFree recycles probeTask argument structs for the closure-free
-	// AfterCall scheduling of probe batches.
-	taskFree []*probeTask
+	// AfterCall scheduling of probe batches; retryFree does the same for
+	// the probe-retry path.
+	taskFree  []*probeTask
+	retryFree []*retryTask
 
 	// Pre-resolved instruments on the sim's registry (hot path: no map
 	// lookups per flow).
-	mTriggers  *metrics.Counter
-	mRecorded  *metrics.Counter
-	mProbes    *metrics.Counter
-	mBlocks    *metrics.Counter
-	mSlabBytes *metrics.Gauge
+	mTriggers      *metrics.Counter
+	mRecorded      *metrics.Counter
+	mProbes        *metrics.Counter
+	mBlocks        *metrics.Counter
+	mSlabBytes     *metrics.Gauge
+	mProbeDrops    *metrics.Counter
+	mProbeRetries  *metrics.Counter
+	mProbeTimeouts *metrics.Counter
 
 	// Counters for experiment reports.
 	Triggers         int // non-probe flows observed
 	PayloadsRecorded int // first payloads recorded for replay
 	ProbesSent       int
 	BlockEvents      []BlockEvent
+	// Impairment-visible probe accounting: probes whose connection the
+	// network dropped, retries scheduled in response, and reactions
+	// reclassified as timeouts because they arrived past the prober's
+	// patience. All stay zero on ideal links.
+	ProbeDrops    int
+	ProbeRetries  int
+	ProbeTimeouts int
 }
 
 // serverState is the per-suspect staged probing state (§4.2: "the active
@@ -166,26 +197,81 @@ func (s *serverState) ssLike(minFlows int) bool {
 	return v
 }
 
-// New creates a GFW attached to sim and net. The caller must also register
-// it: net.AddMiddlebox(g).
-func New(sim *netsim.Sim, net *netsim.Network, cfg Config) *GFW {
+// Env is the simulation substrate a GFW attaches to: the event
+// scheduler and the network whose border it sits on. It exists so the
+// censor's constructor takes one environment value plus options, rather
+// than a growing list of positional parameters.
+type Env struct {
+	Sim *netsim.Sim
+	Net *netsim.Network
+}
+
+// Option configures the censor at construction (see New).
+type Option func(*Config)
+
+// WithConfig replaces the whole configuration — the bridge from the
+// config-struct world (experiment harnesses, sweep overrides) into the
+// options world.
+func WithConfig(cfg Config) Option {
+	return func(c *Config) { *c = cfg }
+}
+
+// WithSeed sets the seed driving all of the censor's randomness.
+func WithSeed(seed int64) Option {
+	return func(c *Config) { c.Seed = seed }
+}
+
+// WithPoolSize sets the number of prober source addresses.
+func WithPoolSize(n int) Option {
+	return func(c *Config) { c.PoolSize = n }
+}
+
+// WithSensitivity sets the blocking module's "human factor" gate.
+func WithSensitivity(p float64) Option {
+	return func(c *Config) { c.Sensitivity = p }
+}
+
+// WithTimeouts sets the prober's patience (see Config.Timeouts).
+func WithTimeouts(t netsim.Timeouts) Option {
+	return func(c *Config) { c.Timeouts = t }
+}
+
+// New creates a GFW on env, configured by options over the zero Config
+// (zero values select paper-calibrated defaults). The caller must also
+// register it: env.Net.AddMiddlebox(g).
+func New(env Env, opts ...Option) *GFW {
+	var cfg Config
+	for _, o := range opts {
+		o(&cfg)
+	}
 	cfg = cfg.withDefaults()
+	sim, net := env.Sim, env.Net
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	return &GFW{
-		cfg:        cfg,
-		sim:        sim,
-		net:        net,
-		rng:        rng,
-		det:        detector{base: cfg.ReplayBase, ignoreLength: cfg.DisableLengthFeature, ignoreEntropy: cfg.DisableEntropyFeature},
-		Pool:       NewPool(rand.New(rand.NewSource(cfg.Seed+1)), cfg.PoolSize, sim.Now()),
-		Log:        capture.NewLog(sim.Now()),
-		servers:    map[netsim.Endpoint]*serverState{},
-		mTriggers:  sim.Metrics.Counter("gfw.triggers"),
-		mRecorded:  sim.Metrics.Counter("gfw.payloads_recorded"),
-		mProbes:    sim.Metrics.Counter("gfw.probes_sent"),
-		mBlocks:    sim.Metrics.Counter("gfw.block_events"),
-		mSlabBytes: sim.Metrics.Gauge("gfw.recording_slab_bytes"),
+		cfg:            cfg,
+		sim:            sim,
+		net:            net,
+		rng:            rng,
+		det:            detector{base: cfg.ReplayBase, ignoreLength: cfg.DisableLengthFeature, ignoreEntropy: cfg.DisableEntropyFeature},
+		Pool:           NewPool(rand.New(rand.NewSource(cfg.Seed+1)), cfg.PoolSize, sim.Now()),
+		Log:            capture.NewLog(sim.Now()),
+		servers:        map[netsim.Endpoint]*serverState{},
+		mTriggers:      sim.Metrics.Counter("gfw.triggers"),
+		mRecorded:      sim.Metrics.Counter("gfw.payloads_recorded"),
+		mProbes:        sim.Metrics.Counter("gfw.probes_sent"),
+		mBlocks:        sim.Metrics.Counter("gfw.block_events"),
+		mSlabBytes:     sim.Metrics.Gauge("gfw.recording_slab_bytes"),
+		mProbeDrops:    sim.Metrics.Counter("gfw.probe_drops"),
+		mProbeRetries:  sim.Metrics.Counter("gfw.probe_retries"),
+		mProbeTimeouts: sim.Metrics.Counter("gfw.probe_timeouts"),
 	}
+}
+
+// NewWithConfig creates a GFW from the pre-options positional signature.
+//
+// Deprecated: use New(Env{Sim: sim, Net: net}, WithConfig(cfg)).
+func NewWithConfig(sim *netsim.Sim, net *netsim.Network, cfg Config) *GFW {
+	return New(Env{Sim: sim, Net: net}, WithConfig(cfg))
 }
 
 // slabChunk is the recording slab's chunk size. Payloads are at most
@@ -412,8 +498,46 @@ func (g *GFW) sendProbe(server netsim.Endpoint, rec *recording) {
 	}
 }
 
+// retryTask carries one scheduled probe retransmission through the
+// closure-free netsim.AfterCall path; tasks recycle via GFW.retryFree.
+// Retries exist for connections the network dropped (impaired links
+// only): the prober re-sends the identical payload from a fresh pool
+// source, up to Config.ProbeAttempts transmissions in total.
+type retryTask struct {
+	g        *GFW
+	server   netsim.Endpoint
+	typ      probe.Type
+	payload  []byte
+	replayOf time.Time
+	attempt  int
+}
+
+// runRetryTask is the netsim.AfterCall trampoline for probe retries.
+func runRetryTask(x any) {
+	t := x.(*retryTask)
+	g, server, typ, payload, replayOf, attempt := t.g, t.server, t.typ, t.payload, t.replayOf, t.attempt
+	t.g, t.payload = nil, nil
+	g.retryFree = append(g.retryFree, t)
+	g.emitAttempt(server, g.state(server), typ, payload, replayOf, attempt)
+}
+
+func (g *GFW) newRetryTask(server netsim.Endpoint, typ probe.Type, payload []byte, replayOf time.Time, attempt int) *retryTask {
+	if n := len(g.retryFree); n > 0 {
+		t := g.retryFree[n-1]
+		g.retryFree = g.retryFree[:n-1]
+		t.g, t.server, t.typ, t.payload, t.replayOf, t.attempt = g, server, typ, payload, replayOf, attempt
+		return t
+	}
+	return &retryTask{g: g, server: server, typ: typ, payload: payload, replayOf: replayOf, attempt: attempt}
+}
+
 // emit performs the network send and bookkeeping for one probe.
 func (g *GFW) emit(server netsim.Endpoint, s *serverState, typ probe.Type, payload []byte, replayOf time.Time) {
+	g.emitAttempt(server, s, typ, payload, replayOf, 1)
+}
+
+// emitAttempt sends transmission number attempt of one probe.
+func (g *GFW) emitAttempt(server netsim.Endpoint, s *serverState, typ probe.Type, payload []byte, replayOf time.Time, attempt int) {
 	src := g.Pool.Source(g.sim.Now())
 	genAt := replayOf
 	outcome := g.net.Connect(src.Endpoint(), server, payload, true, genAt)
@@ -440,6 +564,30 @@ func (g *GFW) emit(server netsim.Endpoint, s *serverState, typ probe.Type, paylo
 	})
 	if outcome.Blocked {
 		return
+	}
+	// An impaired link may drop the probe's connection outright; the
+	// prober learns nothing and retries the identical payload after its
+	// patience expires, from a fresh pool source (§3.3: consecutive
+	// probes rarely share a source address).
+	if outcome.Dropped {
+		g.ProbeDrops++
+		g.mProbeDrops.Inc()
+		if attempt < g.cfg.ProbeAttempts {
+			g.ProbeRetries++
+			g.mProbeRetries.Inc()
+			g.sim.AfterCall(g.cfg.Timeouts.Handshake, runRetryTask,
+				g.newRetryTask(server, typ, payload, replayOf, attempt+1))
+		}
+		return
+	}
+	// A reaction that an impaired link delivered past the prober's
+	// patience was never observed: the prober had already recorded a
+	// timeout and moved on.
+	if outcome.Elapsed > g.cfg.Timeouts.Handshake {
+		g.ProbeTimeouts++
+		g.mProbeTimeouts.Inc()
+		outcome.Reaction = reaction.Timeout
+		outcome.ResponseLen = 0
 	}
 
 	// Staged escalation: a data response to an R1/R2 replay proves the

@@ -222,7 +222,7 @@ func runCampaign(t *testing.T, host netsim.Host, count int, cfg Config) (*GFW, *
 	t.Helper()
 	sim := netsim.NewSim()
 	net := netsim.NewNetwork(sim)
-	g := New(sim, net, cfg)
+	g := New(Env{Sim: sim, Net: net}, WithConfig(cfg))
 	net.AddMiddlebox(g)
 
 	server := netsim.Endpoint{IP: "178.62.0.1", Port: 8388}
@@ -358,7 +358,7 @@ func TestEntropyAffectsProbeVolume(t *testing.T) {
 	sim := netsim.NewSim()
 	net := netsim.NewNetwork(sim)
 	cfg := Config{Seed: 5}
-	g := New(sim, net, cfg)
+	g := New(Env{Sim: sim, Net: net}, WithConfig(cfg))
 	net.AddMiddlebox(g)
 	server := netsim.Endpoint{IP: "178.62.0.2", Port: 8388}
 	client := netsim.Endpoint{IP: "101.32.0.3", Port: 55001}
@@ -392,7 +392,7 @@ func TestEntropyAffectsProbeVolume(t *testing.T) {
 func TestBlockingModule(t *testing.T) {
 	sim := netsim.NewSim()
 	net := netsim.NewNetwork(sim)
-	g := New(sim, net, Config{Seed: 6, Sensitivity: 1.0, BlockThreshold: 6})
+	g := New(Env{Sim: sim, Net: net}, WithConfig(Config{Seed: 6, Sensitivity: 1.0, BlockThreshold: 6}))
 	net.AddMiddlebox(g)
 	server := netsim.Endpoint{IP: "178.62.0.3", Port: 8388}
 	client := netsim.Endpoint{IP: "101.32.0.4", Port: 55002}

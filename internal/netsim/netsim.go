@@ -54,26 +54,59 @@ type Sim struct {
 	pq  []event // binary min-heap by (at, seq), events by value
 	seq uint64
 
+	// seed is the root of the simulator's own randomness (link
+	// impairment streams); component models (GFW, traffic generators)
+	// carry their own seeds. Set with WithSeed.
+	seed int64
+
 	// Metrics is the sim-owned registry; Network and middleboxes attach
 	// their instruments to it so one snapshot covers the whole substrate.
 	Metrics *metrics.Registry
+	// metricsSet records that WithMetrics was applied (possibly with
+	// nil, which deliberately disables instrumentation).
+	metricsSet bool
 
 	scheduled  *metrics.Counter
 	dispatched *metrics.Counter
 	heapPeak   *metrics.Gauge
 }
 
-// NewSim returns a simulator starting at Epoch.
-func NewSim() *Sim {
-	m := metrics.New()
-	return &Sim{
-		now:        Epoch,
-		Metrics:    m,
-		scheduled:  m.Counter("sim.events_scheduled"),
-		dispatched: m.Counter("sim.events_dispatched"),
-		heapPeak:   m.Gauge("sim.event_heap_peak"),
-	}
+// Option configures a Sim at construction (see NewSim).
+type Option func(*Sim)
+
+// WithSeed sets the simulator's root seed; per-link impairment streams
+// are forked from it via seedfork, so equal seeds give bit-identical
+// impairment decisions. The default seed is 0.
+func WithSeed(seed int64) Option {
+	return func(s *Sim) { s.seed = seed }
 }
+
+// WithMetrics substitutes the simulator's metrics registry. Passing nil
+// is valid and turns every instrument into a no-op (internal/metrics is
+// nil-safe), which removes even the counter increments from the hot
+// path. The default is a fresh registry.
+func WithMetrics(m *metrics.Registry) Option {
+	return func(s *Sim) { s.Metrics, s.metricsSet = m, true }
+}
+
+// NewSim returns a simulator starting at Epoch. With no options it is
+// identical to the historical zero-argument constructor.
+func NewSim(opts ...Option) *Sim {
+	s := &Sim{now: Epoch}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.Metrics == nil && !s.metricsSet {
+		s.Metrics = metrics.New()
+	}
+	s.scheduled = s.Metrics.Counter("sim.events_scheduled")
+	s.dispatched = s.Metrics.Counter("sim.events_dispatched")
+	s.heapPeak = s.Metrics.Gauge("sim.event_heap_peak")
+	return s
+}
+
+// Seed returns the simulator's root seed (see WithSeed).
+func (s *Sim) Seed() int64 { return s.seed }
 
 // Now returns the current virtual time.
 func (s *Sim) Now() time.Time { return s.now }
@@ -223,6 +256,14 @@ type Outcome struct {
 	// Blocked means the flow never completed because a null-routing rule
 	// dropped the server-to-client direction.
 	Blocked bool
+	// Dropped means an impaired link lost the flow before the first
+	// payload was delivered (connect failure, not a server reaction);
+	// probers may retry such flows. Always false on ideal links.
+	Dropped bool `json:"Dropped,omitempty"`
+	// Elapsed is the client's wait from initiating the flow to observing
+	// the outcome, under the links' impairment profiles. Zero on ideal
+	// links (delivery is instant).
+	Elapsed time.Duration `json:"Elapsed,omitempty"`
 }
 
 // Host handles inbound flows.
@@ -266,14 +307,54 @@ type Network struct {
 	// Flows counts all attempted flows (including blocked ones).
 	Flows int
 
+	// Link impairment (see impair.go): an optional default profile for
+	// every directed link, per-link overrides keyed by IP pair, and the
+	// lazily created mutable link states.
+	defaultLink  *LinkProfile
+	linkProfiles map[linkKey]*LinkProfile
+	links        map[linkKey]*linkState
+
 	flowsTotal   *metrics.Counter
 	flowsBlocked *metrics.Counter
 	probeFlows   *metrics.Counter
+
+	mImpDroppedFlows     *metrics.Counter
+	mImpDroppedResponses *metrics.Counter
+	mImpRetransmits      *metrics.Counter
+	mImpDuplicates       *metrics.Counter
+	mImpReorders         *metrics.Counter
 }
 
-// NewNetwork creates an empty network on sim.
-func NewNetwork(sim *Sim) *Network {
-	return &Network{
+// NetworkOption configures a Network at construction (see NewNetwork).
+type NetworkOption func(*Network)
+
+// WithDefaultLink applies profile to every directed link that has no
+// WithLink override. A zero profile is a no-op (ideal links).
+func WithDefaultLink(profile LinkProfile) NetworkOption {
+	return func(n *Network) {
+		p := profile
+		n.defaultLink = &p
+	}
+}
+
+// WithLink applies profile to the directed link srcIP→dstIP only,
+// overriding any WithDefaultLink profile. Impairing a single direction
+// or pair models asymmetric paths and partitions.
+func WithLink(srcIP, dstIP string, profile LinkProfile) NetworkOption {
+	return func(n *Network) {
+		if n.linkProfiles == nil {
+			n.linkProfiles = map[linkKey]*LinkProfile{}
+		}
+		p := profile
+		n.linkProfiles[linkKey{src: srcIP, dst: dstIP}] = &p
+	}
+}
+
+// NewNetwork creates an empty network on sim. With no options every
+// link is ideal and the flow path is identical to the historical
+// constructor's.
+func NewNetwork(sim *Sim, opts ...NetworkOption) *Network {
+	n := &Network{
 		Sim:          sim,
 		hosts:        map[Endpoint]Host{},
 		blockedIP:    map[string]uint64{},
@@ -281,7 +362,17 @@ func NewNetwork(sim *Sim) *Network {
 		flowsTotal:   sim.Metrics.Counter("net.flows_total"),
 		flowsBlocked: sim.Metrics.Counter("net.flows_blocked"),
 		probeFlows:   sim.Metrics.Counter("net.flows_probe"),
+
+		mImpDroppedFlows:     sim.Metrics.Counter("net.impair_dropped_flows"),
+		mImpDroppedResponses: sim.Metrics.Counter("net.impair_dropped_responses"),
+		mImpRetransmits:      sim.Metrics.Counter("net.impair_retransmits"),
+		mImpDuplicates:       sim.Metrics.Counter("net.impair_duplicates"),
+		mImpReorders:         sim.Metrics.Counter("net.impair_reorders"),
 	}
+	for _, o := range opts {
+		o(n)
+	}
+	return n
 }
 
 // AddHost binds a host to an endpoint.
@@ -365,6 +456,15 @@ func (n *Network) Connect(client, server Endpoint, firstPayload []byte, probe bo
 		Start:        n.Sim.Now(),
 		Probe:        probe,
 		GeneratedAt:  generatedAt,
+	}
+	// Impaired links take the fault-injecting path (impair.go); with no
+	// profiles configured — or all profiles zero — the flow continues on
+	// the exact historical code path below, with no extra RNG draws.
+	if n.impaired() {
+		fwd, rev := n.linkFor(client, server), n.linkFor(server, client)
+		if fwd != nil || rev != nil {
+			return n.connectImpaired(f, fwd, rev)
+		}
 	}
 	// Null routing drops only the server->client direction (§6): the
 	// client's SYN still reaches the server, which may even accept and

@@ -1,0 +1,34 @@
+package netsim
+
+import "time"
+
+// Timeouts is the shared connection-patience configuration honoured by
+// both the real-socket endpoints (internal/ssclient, internal/ssserver)
+// and the simulated prober path (internal/gfw): one struct, one set of
+// defaults, instead of per-package hard-coded constants. Zero fields
+// select the defaults via WithDefaults.
+type Timeouts struct {
+	// Connect bounds connection establishment (TCP connect for real
+	// sockets; the prober's SYN budget in the simulator).
+	Connect time.Duration
+	// Handshake bounds the first protocol exchange: how long a server
+	// waits for protocol data, and how long a prober waits for the
+	// server's reaction before recording a timeout.
+	Handshake time.Duration
+	// Idle bounds relay inactivity; zero means relays wait forever
+	// (the historical behaviour).
+	Idle time.Duration
+}
+
+// WithDefaults returns t with zero fields replaced by the defaults:
+// Connect 10s, Handshake 60s (the common implementation default the
+// paper contrasts with the GFW's shorter prober patience), Idle 0.
+func (t Timeouts) WithDefaults() Timeouts {
+	if t.Connect <= 0 {
+		t.Connect = 10 * time.Second
+	}
+	if t.Handshake <= 0 {
+		t.Handshake = 60 * time.Second
+	}
+	return t
+}

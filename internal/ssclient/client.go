@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"sslab/internal/metrics"
+	"sslab/internal/netsim"
 	"sslab/internal/socks"
 	"sslab/internal/sscrypto"
 	"sslab/internal/ssproto"
@@ -23,8 +24,16 @@ type Config struct {
 	// Method and Password must match the server's configuration.
 	Method   string
 	Password string
-	// Timeout bounds the TCP connect to the server (default 10 s).
+	// Timeout bounds the TCP connect to the server.
+	//
+	// Deprecated: set Timeouts.Connect instead. When Timeouts.Connect is
+	// zero this value is used, so existing callers keep their behaviour.
 	Timeout time.Duration
+	// Timeouts bounds the connection stages: Connect for the TCP connect
+	// to the server (default 10 s) and Idle for the SOCKS relay loops
+	// (zero keeps the historical wait-forever relay). Handshake is
+	// unused on the client side.
+	Timeouts netsim.Timeouts
 	// Dial overrides the transport dialer (tests).
 	Dial func(network, address string) (net.Conn, error)
 	// Shaper, if set, wraps the transport connection before the protocol
@@ -54,12 +63,14 @@ func New(cfg Config) (*Client, error) {
 	if cfg.Server == "" {
 		return nil, fmt.Errorf("ssclient: server address required")
 	}
-	if cfg.Timeout <= 0 {
-		cfg.Timeout = 10 * time.Second
+	if cfg.Timeouts.Connect <= 0 {
+		cfg.Timeouts.Connect = cfg.Timeout
 	}
+	cfg.Timeouts = cfg.Timeouts.WithDefaults()
+	cfg.Timeout = cfg.Timeouts.Connect
 	if cfg.Dial == nil {
 		cfg.Dial = func(network, address string) (net.Conn, error) {
-			return net.DialTimeout(network, address, cfg.Timeout)
+			return net.DialTimeout(network, address, cfg.Timeouts.Connect)
 		}
 	}
 	return &Client{
@@ -170,6 +181,11 @@ func (c *Client) handleSOCKS(conn net.Conn) {
 		defer func() { done <- struct{}{} }()
 		buf := make([]byte, 16*1024)
 		for {
+			// Idle timeout per pending read; zero keeps the historical
+			// wait-forever relay.
+			if d := c.cfg.Timeouts.Idle; d > 0 {
+				src.SetReadDeadline(time.Now().Add(d))
+			}
 			n, err := src.Read(buf)
 			if n > 0 {
 				if _, werr := dst.Write(buf[:n]); werr != nil {

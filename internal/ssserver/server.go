@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"sslab/internal/metrics"
+	"sslab/internal/netsim"
 	"sslab/internal/reaction"
 	"sslab/internal/replay"
 	"sslab/internal/socks"
@@ -35,11 +36,21 @@ type Config struct {
 	// value defaults to the hardened reference profile.
 	Profile reaction.Profile
 	// Timeout is how long the server waits for protocol data before
-	// giving up on a connection (default 60 s, the common implementation
-	// default the paper contrasts with the GFW's sub-10 s prober timeout).
+	// giving up on a connection.
+	//
+	// Deprecated: set Timeouts.Handshake instead. When Timeouts.Handshake
+	// is zero this value is used, so existing callers keep their
+	// behaviour.
 	Timeout time.Duration
-	// Dial is the outbound dialer; defaults to net.Dial with a 10 s
-	// timeout. Tests substitute it to avoid real network traffic.
+	// Timeouts bounds the connection stages: Connect for outbound dials
+	// (was a hard-coded 10 s), Handshake for the first protocol data
+	// (default 60 s, the common implementation default the paper
+	// contrasts with the GFW's sub-10 s prober patience), and Idle for
+	// the relay loops (zero keeps the historical wait-forever relay).
+	Timeouts netsim.Timeouts
+	// Dial is the outbound dialer; defaults to net.Dial bounded by
+	// Timeouts.Connect. Tests substitute it to avoid real network
+	// traffic.
 	Dial func(network, address string) (net.Conn, error)
 	// Logf, when set, receives debug logs.
 	Logf func(format string, args ...any)
@@ -92,12 +103,15 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("ssserver: %s %s supports AEAD methods only",
 			cfg.Profile.Name, cfg.Profile.Versions)
 	}
-	if cfg.Timeout <= 0 {
-		cfg.Timeout = 60 * time.Second
+	if cfg.Timeouts.Handshake <= 0 {
+		cfg.Timeouts.Handshake = cfg.Timeout
 	}
+	cfg.Timeouts = cfg.Timeouts.WithDefaults()
+	cfg.Timeout = cfg.Timeouts.Handshake
 	if cfg.Dial == nil {
+		connect := cfg.Timeouts.Connect
 		cfg.Dial = func(network, address string) (net.Conn, error) {
-			return net.DialTimeout(network, address, 10*time.Second)
+			return net.DialTimeout(network, address, connect)
 		}
 	}
 	if cfg.Logf == nil {
@@ -184,10 +198,20 @@ func (s *Server) Close() error {
 // protocol errors (bad auth, bad address type, replay, short first packet).
 var errProtocol = errors.New("ssserver: protocol error")
 
+// armIdle bounds one relay-stage read by Timeouts.Idle. A zero Idle is
+// a no-op: the relay entry points clear the handshake deadline once, so
+// the historical wait-forever behaviour (and its syscall count) is
+// unchanged. Called before every relay read, so the window is per-read.
+func (s *Server) armIdle(c net.Conn) {
+	if d := s.cfg.Timeouts.Idle; d > 0 {
+		c.SetReadDeadline(time.Now().Add(d))
+	}
+}
+
 // handle serves one client connection.
 func (s *Server) handle(c net.Conn) {
 	defer c.Close()
-	deadline := time.Now().Add(s.cfg.Timeout)
+	deadline := time.Now().Add(s.cfg.Timeouts.Handshake)
 	c.SetReadDeadline(deadline)
 
 	var err error
@@ -251,7 +275,6 @@ func (s *Server) handleStream(c net.Conn) error {
 		case derr == nil:
 			s.Stats.Proxied.Add(1)
 			s.mProxied.Inc()
-			s.mProxied.Inc()
 			return s.relayStream(c, dec, iv, target, plain[consumed:])
 		case errors.Is(derr, socks.ErrIncomplete):
 			if s.cfg.Profile.RSTOnError {
@@ -298,6 +321,7 @@ func (s *Server) relayStream(c net.Conn, dec cipher.Stream, clientIV []byte, tar
 		defer func() { done <- struct{}{} }()
 		buf := make([]byte, 16*1024)
 		for {
+			s.armIdle(c)
 			n, err := c.Read(buf)
 			if n > 0 {
 				dec.XORKeyStream(buf[:n], buf[:n])
@@ -326,6 +350,7 @@ func (s *Server) relayStream(c net.Conn, dec cipher.Stream, clientIV []byte, tar
 		}
 		buf := make([]byte, 16*1024)
 		for {
+			s.armIdle(remote)
 			n, err := remote.Read(buf)
 			if n > 0 {
 				enc.XORKeyStream(buf[:n], buf[:n])
@@ -445,6 +470,7 @@ func (s *Server) relayAEAD(c net.Conn, target socks.Addr, initial []byte, readCh
 	go func() {
 		defer func() { done <- struct{}{} }()
 		for {
+			s.armIdle(c)
 			chunk, err := readChunk()
 			if err != nil {
 				return
@@ -472,6 +498,7 @@ func (s *Server) relayAEAD(c net.Conn, target socks.Addr, initial []byte, readCh
 		out := make([]byte, 0, 2+2*aead.Overhead()+len(buf))
 		var lb [2]byte
 		for {
+			s.armIdle(remote)
 			n, err := remote.Read(buf)
 			if n > 0 {
 				lb[0], lb[1] = byte(n>>8), byte(n)

@@ -32,6 +32,7 @@ package sslab
 import (
 	"sslab/internal/experiment"
 	"sslab/internal/gfw"
+	"sslab/internal/metrics"
 	"sslab/internal/netsim"
 	"sslab/internal/probesim"
 	"sslab/internal/reaction"
@@ -70,6 +71,37 @@ type (
 	Sim = netsim.Sim
 	// Network is the simulated network the GFW sits on.
 	Network = netsim.Network
+	// Metrics is the deterministic counter/gauge/histogram registry the
+	// simulator, censor and servers report into.
+	Metrics = metrics.Registry
+)
+
+// Impairment and options API. A LinkProfile describes one direction of
+// a degraded path (latency, jitter, loss models, duplication,
+// reordering, bandwidth, outages, retries); install one on every link
+// with WithImpairment or per directed pair with WithLink. All other
+// knobs follow the same functional-options pattern (see
+// CONTRIBUTING.md).
+type (
+	// LinkProfile describes the impairments of one directed link.
+	LinkProfile = netsim.LinkProfile
+	// GEParams configures the Gilbert–Elliott bursty-loss model.
+	GEParams = netsim.GEParams
+	// Outage is a scheduled hard-down window on a link.
+	Outage = netsim.Outage
+	// RetryPolicy bounds transport-level retransmission on a link.
+	RetryPolicy = netsim.RetryPolicy
+	// Timeouts bundles connect/handshake/idle deadlines; the zero value
+	// means "use defaults" everywhere it is accepted.
+	Timeouts = netsim.Timeouts
+	// SimOption configures NewSim.
+	SimOption = netsim.Option
+	// NetworkOption configures NewNetwork.
+	NetworkOption = netsim.NetworkOption
+	// CensorEnv names the simulator and network a censor attaches to.
+	CensorEnv = gfw.Env
+	// CensorOption configures NewCensor.
+	CensorOption = gfw.Option
 )
 
 // Prober-simulator API (§5.1).
@@ -100,6 +132,9 @@ type (
 	MimicStudyConfig = experiment.MimicStudyConfig
 	// ProbeCostConfig scales the §5.2.2 probes-to-confirmation study.
 	ProbeCostConfig = experiment.ProbeCostConfig
+	// RobustnessConfig scales the impairment-robustness study (which
+	// paper observations survive a lossy, jittery path).
+	RobustnessConfig = experiment.RobustnessConfig
 )
 
 // Implementation profiles the paper studied, plus the hardened reference.
@@ -126,14 +161,51 @@ func ListenServer(addr string, cfg ServerConfig) (*Server, error) {
 func NewClient(cfg ClientConfig) (*Client, error) { return ssclient.New(cfg) }
 
 // NewSim creates a virtual-clock simulator starting at the paper's epoch.
-func NewSim() *Sim { return netsim.NewSim() }
+func NewSim(opts ...SimOption) *Sim { return netsim.NewSim(opts...) }
 
 // NewNetwork creates a simulated network on sim.
-func NewNetwork(sim *Sim) *Network { return netsim.NewNetwork(sim) }
+func NewNetwork(sim *Sim, opts ...NetworkOption) *Network { return netsim.NewNetwork(sim, opts...) }
+
+// NewMetrics creates an empty metrics registry, for use with WithMetrics.
+func NewMetrics() *Metrics { return metrics.New() }
+
+// WithSeed sets the simulator's root seed. Per-link impairment streams
+// fork from it, so equal seeds give bit-identical runs regardless of
+// worker count or host registration order.
+func WithSeed(seed int64) SimOption { return netsim.WithSeed(seed) }
+
+// WithMetrics points the simulator at a caller-owned registry so one
+// registry can aggregate several simulations.
+func WithMetrics(m *Metrics) SimOption { return netsim.WithMetrics(m) }
+
+// WithImpairment applies profile to every directed link without a
+// WithLink override. The zero profile leaves links ideal.
+func WithImpairment(profile LinkProfile) NetworkOption { return netsim.WithDefaultLink(profile) }
+
+// WithLink overrides the impairment profile of one directed link,
+// keyed by the endpoints' IPs.
+func WithLink(srcIP, dstIP string, profile LinkProfile) NetworkOption {
+	return netsim.WithLink(srcIP, dstIP, profile)
+}
+
+// WithCensorConfig replaces the censor's whole configuration; later
+// options still apply on top.
+func WithCensorConfig(cfg GFWConfig) CensorOption { return gfw.WithConfig(cfg) }
+
+// NewCensor attaches a censor model to a simulated environment and
+// registers it on the network.
+func NewCensor(env CensorEnv, opts ...CensorOption) *GFW {
+	g := gfw.New(env, opts...)
+	env.Net.AddMiddlebox(g)
+	return g
+}
 
 // NewGFW attaches a censor model to a simulated network; the caller must
 // register it with net.AddMiddlebox.
-func NewGFW(sim *Sim, net *Network, cfg GFWConfig) *GFW { return gfw.New(sim, net, cfg) }
+//
+// Deprecated: use NewCensor(CensorEnv{Sim: sim, Net: net},
+// WithCensorConfig(cfg)), which also registers the middlebox.
+func NewGFW(sim *Sim, net *Network, cfg GFWConfig) *GFW { return gfw.NewWithConfig(sim, net, cfg) }
 
 // RunShadowsocksExperiment reproduces §3.1 (Figures 2–7, Tables 2–3).
 func RunShadowsocksExperiment(cfg ShadowsocksConfig) (*experiment.ShadowsocksReport, error) {
@@ -183,6 +255,12 @@ func RunMimicStudy(cfg MimicStudyConfig) (*experiment.MimicStudyReport, error) {
 // §5.2.2's Tor-versus-Shadowsocks observation as a sequential test.
 func RunProbeCost(cfg ProbeCostConfig) (*experiment.ProbeCostReport, error) {
 	return experiment.ProbeCost(cfg)
+}
+
+// RunRobustness sweeps a loss × jitter grid of compact §3.1/§4 reruns
+// and reports which headline observations survive an impaired path.
+func RunRobustness(cfg RobustnessConfig) (*experiment.RobustnessReport, error) {
+	return experiment.Robustness(cfg)
 }
 
 // Probe sends one payload to a live server and classifies the reaction
