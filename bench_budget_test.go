@@ -63,6 +63,20 @@ func TestHotPathAllocBudgets(t *testing.T) {
 	})
 }
 
+// TestFleetAllocBudgets enforces BENCH_fleet.json over the
+// population-scale engine: the timing wheel stays allocation-free in
+// steady state, and a complete fixed-seed fleet run stays at its
+// deterministic construction-plus-flows allocation count.
+func TestFleetAllocBudgets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full benchmarks; skipped with -short")
+	}
+	checkAllocBudgets(t, "BENCH_fleet.json", map[string]func(*testing.B){
+		"WheelSchedule": benchWheelSchedule,
+		"Run2k":         benchFleetRun2k,
+	})
+}
+
 // TestImpairAllocBudgets enforces BENCH_impair.json: the fault-injecting
 // Connect path must stay on the ideal path's allocation profile (one
 // Flow per connection, nothing from the impairment machinery).

@@ -1,0 +1,96 @@
+// BenchmarkFleet measures the population-scale engine: the netsim
+// timing-wheel scheduler in steady state (must stay at 0 allocs/op) and
+// a complete small fleet run (whose per-run allocation count is pinned,
+// so a per-wakeup allocation sneaking into the user hot path fails the
+// budget by three orders of magnitude, not by noise).
+//
+// Budgets live in BENCH_fleet.json, enforced by TestFleetAllocBudgets
+// and the CI bench-smoke job.
+package sslab_test
+
+import (
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"sslab/internal/fleet"
+	"sslab/internal/gfw"
+	"sslab/internal/netsim"
+)
+
+// TestFleetAcceptance is the ISSUE's population-scale acceptance run —
+// 100k users for 24 virtual hours at the defaults — gated behind
+// FLEET_ACCEPTANCE=1 because it takes tens of seconds. Targets: under
+// 60 s wall and under 2 GB memory on one core.
+func TestFleetAcceptance(t *testing.T) {
+	if os.Getenv("FLEET_ACCEPTANCE") == "" {
+		t.Skip("set FLEET_ACCEPTANCE=1 to run the 100k-user acceptance measurement")
+	}
+	start := time.Now()
+	rep, err := fleet.Run(fleet.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wall := time.Since(start)
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	t.Logf("wall %.1fs, heap %.0f MB, sys %.0f MB", wall.Seconds(),
+		float64(m.HeapAlloc)/1e6, float64(m.Sys)/1e6)
+	t.Logf("\n%s", rep.Render())
+	if wall > 60*time.Second {
+		t.Errorf("acceptance run took %.1fs, target < 60s", wall.Seconds())
+	}
+	if m.Sys > 2e9 {
+		t.Errorf("acceptance run used %.1f GB, target < 2 GB", float64(m.Sys)/1e9)
+	}
+}
+
+func BenchmarkFleet(b *testing.B) {
+	b.Run("WheelSchedule", benchWheelSchedule)
+	b.Run("Run2k", benchFleetRun2k)
+}
+
+func nopWheelFire(any) {}
+
+// benchWheelSchedule drives the hierarchical timing wheel the way the
+// fleet does: a dense stream of timers with deltas spanning level 0 and
+// level 1, drained through the simulator. One op = one timer scheduled
+// and fired. A warm-up round pre-grows the slot and event-heap arrays so
+// the timed region measures steady state.
+func benchWheelSchedule(b *testing.B) {
+	sim := netsim.NewSim()
+	w := netsim.NewWheel(sim, time.Second)
+	round := func(n int) {
+		base := sim.Now()
+		for i := 0; i < n; i++ {
+			w.Schedule(base.Add(time.Duration(1+i%601)*time.Second), nopWheelFire, nil)
+		}
+		sim.RunUntil(base.Add(602 * time.Second))
+	}
+	round(200000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	round(b.N)
+}
+
+// benchFleetRun2k runs a complete 2000-user, 3-virtual-hour fleet
+// experiment per op. The config is fixed-seed, so the allocation count
+// is deterministic: construction (user/server slices, censor state) plus
+// one netsim.Flow per connection, and nothing per wake-up.
+func benchFleetRun2k(b *testing.B) {
+	cfg := fleet.Config{
+		Seed:           1,
+		Users:          2000,
+		UsersPerServer: 50,
+		Hours:          3,
+		BucketMin:      30,
+		GFW:            gfw.Config{PoolSize: 2000},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := fleet.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -6,7 +6,10 @@
 // Usage:
 //
 //	gfwsim [-seed N] [-full] [-experiment all|NAME] [-json FILE] [-dump FILE]
-//	       [-cpuprofile FILE] [-memprofile FILE]
+//	       [-cpuprofile FILE] [-memprofile FILE] [-list]
+//
+// -list prints the registered experiments with one-line descriptions
+// and exits.
 //
 // -json appends one campaign.ShardResult per experiment to FILE — the
 // same JSONL schema sslab-sweep checkpoints — so single runs and sweep
@@ -17,6 +20,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strings"
@@ -37,8 +41,14 @@ func main() {
 		dumpFile = flag.String("dump", "", "write the Shadowsocks experiment's probe capture to FILE as JSONL")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to FILE (go tool pprof format)")
 		memProf  = flag.String("memprofile", "", "write a heap profile to FILE at exit")
+		list     = flag.Bool("list", false, "list registered experiments with descriptions and exit")
 	)
 	flag.Parse()
+
+	if *list {
+		listExperiments(os.Stdout)
+		return
+	}
 
 	stopProf, err := prof.Start(*cpuProf, *memProf)
 	if err != nil {
@@ -114,5 +124,19 @@ func main() {
 	}
 	if jsonl != nil {
 		fmt.Printf("wrote %d report records to %s\n", records, *jsonOut)
+	}
+}
+
+// listExperiments prints the registry in presentation order, aligned.
+func listExperiments(w io.Writer) {
+	rs := experiment.Runners()
+	width := 0
+	for _, r := range rs {
+		if len(r.Name()) > width {
+			width = len(r.Name())
+		}
+	}
+	for _, r := range rs {
+		fmt.Fprintf(w, "%-*s  %s\n", width, r.Name(), r.Description())
 	}
 }

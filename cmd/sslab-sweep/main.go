@@ -9,7 +9,10 @@
 //	sslab-sweep -experiment shadowsocks -seeds 1..8 [-workers 8]
 //	            [-grid GFW.PoolSize=4000,8000] [-set Days=30] [-full]
 //	            [-out DIR] [-resume] [-json] [-metrics]
-//	            [-cpuprofile FILE] [-memprofile FILE]
+//	            [-cpuprofile FILE] [-memprofile FILE] [-list]
+//
+// -list prints the sweepable experiments with one-line descriptions
+// and exits.
 //
 // With -out DIR the sweep checkpoints every finished shard to
 // DIR/shards.jsonl and writes DIR/merged.json at the end; re-running
@@ -59,12 +62,27 @@ func main() {
 		showMet  = flag.Bool("metrics", false, "print the engine's metrics snapshot to stderr after the sweep")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to FILE (go tool pprof format)")
 		memProf  = flag.String("memprofile", "", "write a heap profile to FILE at exit")
+		list     = flag.Bool("list", false, "list sweepable experiments with descriptions and exit")
 		grid     listFlag
 		sets     listFlag
 	)
 	flag.Var(&grid, "grid", "grid axis key=v1,v2,… (repeatable; cross product of axes)")
 	flag.Var(&sets, "set", "fixed config override key=value (repeatable, applies to every shard)")
 	flag.Parse()
+
+	if *list {
+		rs := experiment.Runners()
+		width := 0
+		for _, r := range rs {
+			if len(r.Name()) > width {
+				width = len(r.Name())
+			}
+		}
+		for _, r := range rs {
+			fmt.Printf("%-*s  %s\n", width, r.Name(), r.Description())
+		}
+		return
+	}
 
 	stopProf, err := prof.Start(*cpuProf, *memProf)
 	if err != nil {

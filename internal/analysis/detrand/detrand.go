@@ -34,6 +34,7 @@ var Analyzer = &analysis.Analyzer{
 		"sslab/internal/defense",
 		"sslab/internal/entropy",
 		"sslab/internal/experiment",
+		"sslab/internal/fleet",
 		"sslab/internal/gfw",
 		"sslab/internal/metrics",
 		"sslab/internal/netsim",

@@ -39,6 +39,7 @@ var Analyzer = &analysis.Analyzer{
 	Scope: []string{
 		"sslab/internal/campaign",
 		"sslab/internal/experiment",
+		"sslab/internal/fleet",
 		"sslab/internal/gfw",
 		"sslab/internal/metrics",
 		"sslab/internal/netsim",

@@ -241,15 +241,18 @@ func ApplyParams(cfg any, params []Param) error {
 		if err := setPath(m, p.Key, strings.Split(p.Key, "."), p.Value); err != nil {
 			return err
 		}
-	}
-	b, err = json.Marshal(m)
-	if err != nil {
-		return err
-	}
-	dec := json.NewDecoder(bytes.NewReader(b))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(cfg); err != nil {
-		return fmt.Errorf("campaign: override does not fit the config: %v", err)
+		// Strict-decode after every override, not once at the end, so a
+		// failure names the parameter that caused it — the full dotted
+		// path and value, not just the leaf field the decoder rejects.
+		b, err = json.Marshal(m)
+		if err != nil {
+			return err
+		}
+		dec := json.NewDecoder(bytes.NewReader(b))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(cfg); err != nil {
+			return fmt.Errorf("campaign: parameter %s=%s does not fit %T: %v", p.Key, p.Value, cfg, err)
+		}
 	}
 	return nil
 }

@@ -291,6 +291,42 @@ func TestApplyParams(t *testing.T) {
 	if err == nil || !strings.Contains(err.Error(), "unknown field") {
 		t.Errorf("typo below a created intermediate should fail, got %v", err)
 	}
+	// The error must carry the full dotted path and value, not just the
+	// leaf field the decoder rejects — a sweep with -grid axes on three
+	// nested structs is undebuggable from `unknown field "NoSuchKnob"`.
+	if err != nil && !strings.Contains(err.Error(), "Impair.NoSuchKnob=1") {
+		t.Errorf("error does not name the offending parameter path: %v", err)
+	}
+
+	// With several overrides, the error names the one that failed.
+	cfg2 := r.Config(1, false).(*experiment.BlockingConfig)
+	err = ApplyParams(cfg2, []Param{
+		{Key: "Sensitivity", Value: "0.5"},
+		{Key: "GFW.NoSuchKnob", Value: "7"},
+		{Key: "Days", Value: "3"},
+	})
+	if err == nil || !strings.Contains(err.Error(), "GFW.NoSuchKnob=7") {
+		t.Errorf("error does not single out the failing override: %v", err)
+	}
+}
+
+// TestApplyParamsErrorNamesExperiment pins the shard-level wrapping: a
+// bad override surfaced through the engine names the experiment too.
+func TestApplyParamsErrorNamesExperiment(t *testing.T) {
+	spec := Spec{
+		Experiment: "blocking",
+		Seeds:      []int64{1},
+		Base:       []Param{{Key: "GFW.NoSuchKnob", Value: "7"}},
+	}
+	_, err := runRegistered(spec, Shard{Experiment: "blocking", Seed: 1})
+	if err == nil {
+		t.Fatal("bad base override accepted")
+	}
+	for _, want := range []string{"experiment blocking", "GFW.NoSuchKnob=7", "unknown field"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
 }
 
 func TestParseSeeds(t *testing.T) {

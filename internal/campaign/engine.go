@@ -162,10 +162,10 @@ func runRegistered(spec Spec, s Shard) (json.RawMessage, error) {
 	}
 	cfg := r.Config(s.Seed, spec.Full)
 	if err := ApplyParams(cfg, spec.Base); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("experiment %s: %v", s.Experiment, err)
 	}
 	if err := ApplyParams(cfg, s.GridPoint); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("experiment %s: %v", s.Experiment, err)
 	}
 	rep, err := r.Run(cfg)
 	if err != nil {

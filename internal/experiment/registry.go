@@ -21,6 +21,10 @@ type Report interface {
 type Runner interface {
 	// Name is the registry key (the -experiment flag value).
 	Name() string
+	// Description is a one-line summary of what the experiment
+	// reproduces, shown by the -list flag of cmd/gfwsim and
+	// cmd/sslab-sweep.
+	Description() string
 	// Config returns a pointer to a fresh config for the experiment at
 	// fast (the historical cmd/gfwsim default) or full (paper) scale,
 	// with all stochastic state derived from seed. The concrete type is
@@ -35,11 +39,14 @@ type Runner interface {
 // runner implements Runner for one experiment via typed closures.
 type runner[C any] struct {
 	name   string
+	desc   string
 	config func(seed int64, full bool) C
 	run    func(cfg C) (Report, error)
 }
 
 func (r runner[C]) Name() string { return r.name }
+
+func (r runner[C]) Description() string { return r.desc }
 
 func (r runner[C]) Config(seed int64, full bool) any {
 	c := r.config(seed, full)
@@ -68,11 +75,13 @@ type Table1Config struct{}
 var runners = []Runner{
 	runner[Table1Config]{
 		name:   "table1",
+		desc:   "the paper's active-probing experiment timeline (Table 1)",
 		config: func(int64, bool) Table1Config { return Table1Config{} },
 		run:    func(Table1Config) (Report, error) { return Table1(), nil },
 	},
 	runner[ShadowsocksConfig]{
 		name: "shadowsocks",
+		desc: "months of GFW probing against live Shadowsocks pairs and a control host (§4)",
 		config: func(seed int64, full bool) ShadowsocksConfig {
 			cfg := ShadowsocksConfig{Seed: seed}
 			if !full {
@@ -86,6 +95,7 @@ var runners = []Runner{
 	},
 	runner[SinkConfig]{
 		name: "sink",
+		desc: "sink-server probe-harvesting campaigns, Exps 1.a/1.b/2/3 (Table 4)",
 		config: func(seed int64, full bool) SinkConfig {
 			cfg := SinkConfig{Seed: seed}
 			if !full {
@@ -99,6 +109,7 @@ var runners = []Runner{
 	},
 	runner[BrdgrdConfig]{
 		name: "brdgrd",
+		desc: "brdgrd window-shrinking toggled on and off against a control pair (§7.1)",
 		config: func(seed int64, full bool) BrdgrdConfig {
 			cfg := BrdgrdConfig{Seed: seed}
 			if !full {
@@ -112,6 +123,7 @@ var runners = []Runner{
 	},
 	runner[BlockingConfig]{
 		name: "blocking",
+		desc: "which implementations get blocked: replay-serving vs replay-defended (§6)",
 		config: func(seed int64, full bool) BlockingConfig {
 			cfg := BlockingConfig{Seed: seed}
 			if !full {
@@ -124,6 +136,7 @@ var runners = []Runner{
 	},
 	runner[FPStudyConfig]{
 		name: "fpstudy",
+		desc: "passive-detector false positives on web, VPN-like and random traffic (§5)",
 		config: func(seed int64, full bool) FPStudyConfig {
 			cfg := FPStudyConfig{Seed: seed}
 			if !full {
@@ -136,6 +149,7 @@ var runners = []Runner{
 	},
 	runner[BanStudyConfig]{
 		name: "banstudy",
+		desc: "prober ban list evaluated by replaying a sink campaign's probe stream (§7.2)",
 		config: func(seed int64, full bool) BanStudyConfig {
 			cfg := BanStudyConfig{Seed: seed}
 			if !full {
@@ -148,6 +162,7 @@ var runners = []Runner{
 	},
 	runner[MimicStudyConfig]{
 		name: "mimicstudy",
+		desc: "server-side probe-response mimicry, four-cell defense study",
 		config: func(seed int64, full bool) MimicStudyConfig {
 			cfg := MimicStudyConfig{Seed: seed}
 			if !full {
@@ -160,6 +175,7 @@ var runners = []Runner{
 	},
 	runner[ProbeCostConfig]{
 		name: "probecost",
+		desc: "SPRT probes-to-confirmation cost for the censor per configuration",
 		config: func(seed int64, full bool) ProbeCostConfig {
 			cfg := ProbeCostConfig{Seed: seed, Trials: 100}
 			if !full {
@@ -171,6 +187,7 @@ var runners = []Runner{
 	},
 	runner[MatrixConfig]{
 		name: "matrix",
+		desc: "probe-type × implementation reaction matrices (Figs 10a/10b, Table 5)",
 		config: func(seed int64, full bool) MatrixConfig {
 			cfg := MatrixConfig{Seed: seed, Trials: 200}
 			if !full {
@@ -182,6 +199,7 @@ var runners = []Runner{
 	},
 	runner[RobustnessConfig]{
 		name: "robustness",
+		desc: "detection verdicts under link-impairment grids (loss × jitter)",
 		config: func(seed int64, full bool) RobustnessConfig {
 			cfg := RobustnessConfig{Seed: seed}
 			if !full {
@@ -197,6 +215,7 @@ var runners = []Runner{
 		},
 		run: func(cfg RobustnessConfig) (Report, error) { return Robustness(cfg) },
 	},
+	fleetRunner,
 }
 
 // Runners returns the registry in presentation order.

@@ -3,11 +3,14 @@ package experiment
 import (
 	"encoding/json"
 	"testing"
+
+	"sslab/internal/fleet"
 )
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"table1", "shadowsocks", "sink", "brdgrd", "blocking",
-		"fpstudy", "banstudy", "mimicstudy", "probecost", "matrix", "robustness"}
+		"fpstudy", "banstudy", "mimicstudy", "probecost", "matrix", "robustness",
+		"fleet"}
 	rs := Runners()
 	if len(rs) != len(want) {
 		t.Fatalf("registry has %d runners, want %d", len(rs), len(want))
@@ -25,6 +28,11 @@ func TestRegistryComplete(t *testing.T) {
 	}
 	if len(Names()) != len(want) {
 		t.Error("Names() incomplete")
+	}
+	for _, r := range rs {
+		if r.Description() == "" {
+			t.Errorf("%s: empty description (-list output would be blank)", r.Name())
+		}
 	}
 }
 
@@ -73,6 +81,11 @@ func TestRunnerRunsSmall(t *testing.T) {
 		{"table1", func(any) {}},
 		{"probecost", func(cfg any) { cfg.(*ProbeCostConfig).Trials = 5 }},
 		{"matrix", func(cfg any) { cfg.(*MatrixConfig).Trials = 5 }},
+		{"fleet", func(cfg any) {
+			c := cfg.(*fleet.Config)
+			c.Users = 300
+			c.Hours = 2
+		}},
 	} {
 		r, ok := Lookup(tc.name)
 		if !ok {

@@ -1,0 +1,513 @@
+// Package fleet is the population-scale workload engine: it drives the
+// per-flow censor model with 10⁵–10⁶ concurrent simulated users and
+// measures what the paper's detection pipeline does to a *population* —
+// blocked-user curves over virtual time, server detection latencies,
+// prober load, and the lifetime of servers that operators replace after
+// blocking.
+//
+// The engine scales by keeping per-user cost at O(bytes of state), not
+// O(goroutine): a user is ~24 bytes (an inline SplitMix64 PRNG state, a
+// server index, a diurnal phase and two flags) in one flat slice, every
+// wake-up is scheduled closure-free through a netsim.Wheel (O(1)
+// amortized for millions of timers), first packets are synthesized into
+// one reused buffer, and every output is a streaming sketch or bucketed
+// counter (internal/stats) — no per-flow record is ever materialized.
+//
+// Determinism: all randomness forks off Config.Seed via seedfork with
+// the labels "fleet.gfw", "fleet.trafficgen", "fleet.mix" and
+// ("fleet.user", i); the engine is single-threaded in virtual time, so
+// equal seeds give byte-identical reports regardless of sweep worker
+// count.
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"sslab/internal/gfw"
+	"sslab/internal/metrics"
+	"sslab/internal/netsim"
+	"sslab/internal/reaction"
+	"sslab/internal/seedfork"
+	"sslab/internal/sscrypto"
+	"sslab/internal/stats"
+	"sslab/internal/trafficgen"
+)
+
+// Config tunes a fleet run. Zero values select the population-scale
+// defaults; the registry's fast preset shrinks Users and Hours.
+type Config struct {
+	// Seed drives all of the run's randomness.
+	Seed int64
+	// Users is the population size (default 100000).
+	Users int
+	// UsersPerServer is how many users share one Shadowsocks server
+	// (default 50).
+	UsersPerServer int
+	// Hours is the virtual experiment length (default 24).
+	Hours int
+	// PeakFlowsPerHour is a user's mean flow rate at the diurnal peak
+	// (default 2). Wake-ups arrive as a Poisson process at this rate and
+	// are thinned by the diurnal activity curve.
+	PeakFlowsPerHour float64
+	// ActivityFloor is the overnight activity level as a fraction of the
+	// 21:00 peak (default 0.15). Setting it to 1 disables the diurnal
+	// cycle entirely (constant activity — used by the golden cross-check).
+	ActivityFloor float64
+	// BrowseShare is the fraction of users running the Firefox/Alexa
+	// browsing workload; the rest run the paper's curl fetch loop
+	// (default 0.3).
+	BrowseShare float64
+	// ReplaceAfterMin is how many minutes after its users first observe
+	// blocking a server operator re-provisions on a fresh IP (default
+	// 180). The GFW starts over on the new endpoint, as in reality.
+	ReplaceAfterMin int
+	// BucketMin is the width, in minutes, of the report's virtual-time
+	// series buckets (default 15).
+	BucketMin int
+	// Mix is the server implementation mix, drawn per server. Defaults
+	// to DefaultMix (the paper-era version spread of §6; only the
+	// replay-serving shadowsocks-python and ShadowsocksR deployments can
+	// accumulate enough evidence to be blocked).
+	Mix []ImplShare `json:",omitempty"`
+	// GFW configures the censor. The fleet overrides two defaults:
+	// Sensitivity 0 becomes 0.25 (a population run without blocking
+	// measures nothing; set a negative Sensitivity to model the
+	// probe-but-never-block censor), and the probe capture log is
+	// disabled (nothing reads per-probe records at this scale).
+	GFW gfw.Config
+	// Impair optionally applies a link impairment profile to every link.
+	Impair *netsim.LinkProfile `json:",omitempty"`
+}
+
+// ImplShare is one entry of the server implementation mix.
+type ImplShare struct {
+	// Impl names an implementation: libev-old, libev-new, outline,
+	// sspython or ssr.
+	Impl string
+	// Weight is the relative share of servers running Impl.
+	Weight float64
+}
+
+// DefaultMix is the default server implementation spread: mostly
+// maintained shadowsocks-libev and Outline deployments, plus the
+// shadowsocks-python and ShadowsocksR long tail the paper found on the
+// servers that actually got blocked (§6).
+var DefaultMix = []ImplShare{
+	{Impl: "libev-old", Weight: 0.15},
+	{Impl: "libev-new", Weight: 0.30},
+	{Impl: "outline", Weight: 0.20},
+	{Impl: "sspython", Weight: 0.20},
+	{Impl: "ssr", Weight: 0.15},
+}
+
+// implementations maps mix names to reaction profiles and the cipher
+// their era typically deployed.
+var implementations = map[string]struct {
+	profile reaction.Profile
+	method  string
+}{
+	"libev-old": {reaction.LibevOld, "aes-256-cfb"},
+	"libev-new": {reaction.LibevNew, "aes-256-gcm"},
+	"outline":   {reaction.Outline107, "chacha20-ietf-poly1305"},
+	"sspython":  {reaction.SSPython, "aes-256-cfb"},
+	"ssr":       {reaction.SSR, "aes-256-ctr"},
+}
+
+func (c Config) withDefaults() Config {
+	if c.Users == 0 {
+		c.Users = 100000
+	}
+	if c.UsersPerServer == 0 {
+		c.UsersPerServer = 50
+	}
+	if c.Hours == 0 {
+		c.Hours = 24
+	}
+	if c.PeakFlowsPerHour == 0 {
+		c.PeakFlowsPerHour = 2
+	}
+	if c.ActivityFloor == 0 {
+		c.ActivityFloor = 0.15
+	}
+	if c.BrowseShare == 0 {
+		c.BrowseShare = 0.3
+	}
+	if c.ReplaceAfterMin == 0 {
+		c.ReplaceAfterMin = 180
+	}
+	if c.BucketMin == 0 {
+		c.BucketMin = 15
+	}
+	if len(c.Mix) == 0 {
+		c.Mix = DefaultMix
+	}
+	if c.GFW.Sensitivity == 0 {
+		c.GFW.Sensitivity = 0.25
+	}
+	return c
+}
+
+// user is the entire per-user state — kept to a couple dozen bytes so a
+// million-user population costs tens of megabytes, not a goroutine and
+// stack each. rng is an inline SplitMix64 state: the user's private
+// randomness without a *rand.Rand allocation.
+type user struct {
+	rng         uint64
+	server      int32
+	phaseMin    int16 // personal diurnal phase jitter, ±90 minutes
+	wl          uint8 // trafficgen.Workload
+	blocked     bool  // currently cut off from its server
+	everBlocked bool
+}
+
+// splitmix advances a SplitMix64 state and returns the next value.
+func splitmix(s *uint64) uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := *s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// f64 draws uniform [0,1) from the user's inline PRNG.
+func (u *user) f64() float64 {
+	return float64(splitmix(&u.rng)>>11) / (1 << 53)
+}
+
+// serverRec is the per-server state: the long-lived host plus the
+// current endpoint epoch (replacement moves the host to a fresh IP).
+type serverRec struct {
+	host      *serverHost
+	ep        netsim.Endpoint
+	spec      sscrypto.Spec
+	activated time.Time
+	firstFail time.Time // first user-observed blocked flow this epoch
+	replacing bool
+}
+
+// userArg / srvArg are the pre-allocated closure-free scheduling
+// arguments (one each per user/server, so steady state allocates
+// nothing).
+type userArg struct {
+	f   *Fleet
+	idx int32
+}
+
+type srvArg struct {
+	f   *Fleet
+	idx int32
+}
+
+// Fleet is one population run in progress. Construct implicitly via Run.
+type Fleet struct {
+	cfg Config
+	sim *netsim.Sim
+	net *netsim.Network
+	gfw *gfw.GFW
+
+	wheel   *netsim.Wheel
+	users   []user
+	uargs   []userArg
+	sargs   []srvArg
+	clients []netsim.Endpoint
+	servers []serverRec
+	// epochs records each endpoint's activation time, so BlockEvents
+	// resolve to detection latencies after the run (O(servers +
+	// replacements) memory).
+	epochs map[netsim.Endpoint]time.Time
+
+	tg      *trafficgen.Generator
+	scratch []byte
+	end     time.Time
+
+	meanGap      time.Duration
+	replaceAfter time.Duration
+	bucket       time.Duration
+
+	// Streaming aggregates — the only run-long measurement state.
+	flows        int64
+	wakeups      int64
+	blockedNow   int64
+	everBlocked  int64
+	replacements int64
+	nextServerIP int
+
+	flowsTS      *stats.TimeSeries
+	latencies    *stats.Quantile // block time − endpoint activation, seconds
+	lifetimes    *stats.Quantile // activation → first observed failure, seconds
+	gapP2        *stats.P2       // median wake-up gap, seconds
+	blockedCurve []int64         // users currently cut off, sampled per bucket
+	probeLoad    []int64         // probes sent per bucket
+	lastProbes   int
+
+	mFlows        *metrics.Counter
+	mWakeups      *metrics.Counter
+	mBlockedUsers *metrics.Gauge
+	mReplacements *metrics.Counter
+}
+
+// bindMetrics attaches the fleet's instruments to the sim's registry.
+func (f *Fleet) bindMetrics() {
+	f.mFlows = f.sim.Metrics.Counter("fleet.flows")
+	f.mWakeups = f.sim.Metrics.Counter("fleet.wakeups")
+	f.mBlockedUsers = f.sim.Metrics.Gauge("fleet.blocked_users")
+	f.mReplacements = f.sim.Metrics.Counter("fleet.replacements")
+}
+
+// activity is the diurnal curve: a smooth cosine peaking at 21:00
+// virtual time (plus the user's personal phase jitter), floored at
+// ActivityFloor. The cosine is periodic in the day, so a negative
+// remainder from the modulo is harmless.
+func (f *Fleet) activity(now time.Time, phaseMin int16) float64 {
+	m := (int64(now.Sub(netsim.Epoch)/time.Minute) + int64(phaseMin)) % (24 * 60)
+	h := float64(m) / 60
+	shape := 0.5 * (1 + math.Cos(2*math.Pi*(h-21)/24))
+	floor := f.cfg.ActivityFloor
+	return floor + (1-floor)*shape
+}
+
+// expGap draws the user's next wake-up gap: exponential with mean
+// meanGap (Poisson arrivals at the peak rate; the diurnal curve thins).
+func (f *Fleet) expGap(u *user) time.Duration {
+	return time.Duration(-math.Log1p(-u.f64()) * float64(f.meanGap))
+}
+
+// runUserWake is the Wheel trampoline for user wake-ups.
+func runUserWake(x any) {
+	a := x.(*userArg)
+	a.f.wake(a)
+}
+
+// wake is the per-user hot path: chain the next wake-up, thin by the
+// diurnal curve, then (if active) emit one flow and account its
+// outcome. Steady state allocates only the netsim Flow.
+func (f *Fleet) wake(a *userArg) {
+	u := &f.users[a.idx]
+	now := f.sim.Now()
+	f.wakeups++
+	f.mWakeups.Inc()
+
+	gap := f.expGap(u)
+	f.gapP2.Observe(gap.Seconds())
+	if t := now.Add(gap); t.Before(f.end) {
+		f.wheel.Schedule(t, runUserWake, a)
+	}
+	if u.f64() >= f.activity(now, u.phaseMin) {
+		return
+	}
+
+	srv := &f.servers[u.server]
+	f.scratch = f.tg.AppendFirstWirePacket(f.scratch[:0], srv.spec, trafficgen.Workload(u.wl))
+	out := f.net.Connect(f.clients[a.idx], srv.ep, f.scratch, false, time.Time{})
+	f.flows++
+	f.mFlows.Inc()
+	f.flowsTS.Add(now.Sub(netsim.Epoch), 1)
+
+	if out.Blocked {
+		f.onBlockedFlow(u, srv, now)
+	} else if u.blocked {
+		u.blocked = false
+		f.blockedNow--
+		f.mBlockedUsers.Set(f.blockedNow)
+	}
+}
+
+// onBlockedFlow accounts one user observing its server null-routed, and
+// triggers the operator's replace-after-block behavior once per server
+// epoch.
+func (f *Fleet) onBlockedFlow(u *user, srv *serverRec, now time.Time) {
+	if !u.blocked {
+		u.blocked = true
+		f.blockedNow++
+		f.mBlockedUsers.Set(f.blockedNow)
+		if !u.everBlocked {
+			u.everBlocked = true
+			f.everBlocked++
+		}
+	}
+	if srv.firstFail.IsZero() {
+		srv.firstFail = now
+	}
+	if !srv.replacing {
+		srv.replacing = true
+		f.sim.AfterCall(f.replaceAfter, runReplace, &f.sargs[u.server])
+	}
+}
+
+// runReplace is the AfterCall trampoline for server replacement.
+func runReplace(x any) {
+	a := x.(*srvArg)
+	a.f.replace(a.idx)
+}
+
+// replace moves a blocked server to a fresh endpoint: the operator
+// re-provisions, users follow (their next flows reach the new address),
+// and the GFW meets an unknown server again. The finished epoch's
+// lifetime (activation → first observed failure) feeds the survival
+// sketch.
+func (f *Fleet) replace(idx int32) {
+	srv := &f.servers[idx]
+	now := f.sim.Now()
+	srv.replacing = false
+	f.lifetimes.Observe(srv.firstFail.Sub(srv.activated).Seconds())
+	srv.firstFail = time.Time{}
+	f.replacements++
+	f.mReplacements.Inc()
+
+	srv.ep = f.serverEndpoint()
+	srv.activated = now
+	f.epochs[srv.ep] = now
+	f.net.AddHost(srv.ep, srv.host)
+}
+
+// serverEndpoint mints the next server address (TEST-NET-style space,
+// disjoint from client and prober addresses).
+func (f *Fleet) serverEndpoint() netsim.Endpoint {
+	n := f.nextServerIP
+	f.nextServerIP++
+	return netsim.Endpoint{
+		IP:   fmt.Sprintf("198.51.%d.%d", (n/250)%250, n%250+1),
+		Port: 8388,
+	}
+}
+
+// runSample is the AtCall trampoline for bucket-boundary sampling.
+func runSample(x any) {
+	x.(*Fleet).sample()
+}
+
+// sample records the bucket series at a boundary: the blocked-user
+// gauge and the probe-load delta since the previous boundary.
+func (f *Fleet) sample() {
+	f.blockedCurve = append(f.blockedCurve, f.blockedNow)
+	probes := f.gfw.ProbesSent
+	f.probeLoad = append(f.probeLoad, int64(probes-f.lastProbes))
+	f.lastProbes = probes
+	if next := f.sim.Now().Add(f.bucket); !next.After(f.end) {
+		f.sim.AtCall(next, runSample, f)
+	}
+}
+
+// Run executes one fleet experiment and reduces it to a Report.
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	for _, share := range cfg.Mix {
+		if _, ok := implementations[share.Impl]; !ok {
+			return nil, fmt.Errorf("fleet: unknown implementation %q in mix", share.Impl)
+		}
+		if share.Weight < 0 {
+			return nil, fmt.Errorf("fleet: negative weight for %q", share.Impl)
+		}
+	}
+
+	sim := netsim.NewSim(netsim.WithSeed(cfg.Seed))
+	var opts []netsim.NetworkOption
+	if cfg.Impair != nil {
+		opts = append(opts, netsim.WithDefaultLink(*cfg.Impair))
+	}
+	net := netsim.NewNetwork(sim, opts...)
+
+	gcfg := cfg.GFW
+	gcfg.Seed = seedfork.Fork(cfg.Seed, "fleet.gfw")
+	gcfg.NoProbeLog = true
+	g := gfw.New(gfw.Env{Sim: sim, Net: net}, gfw.WithConfig(gcfg))
+	net.AddMiddlebox(g)
+
+	f := &Fleet{
+		cfg:          cfg,
+		sim:          sim,
+		net:          net,
+		gfw:          g,
+		wheel:        netsim.NewWheel(sim, time.Second),
+		tg:           trafficgen.New(seedfork.Fork(cfg.Seed, "fleet.trafficgen")),
+		end:          netsim.Epoch.Add(time.Duration(cfg.Hours) * time.Hour),
+		meanGap:      time.Duration(float64(time.Hour) / cfg.PeakFlowsPerHour),
+		replaceAfter: time.Duration(cfg.ReplaceAfterMin) * time.Minute,
+		bucket:       time.Duration(cfg.BucketMin) * time.Minute,
+		epochs:       map[netsim.Endpoint]time.Time{},
+		flowsTS:      stats.NewTimeSeries(time.Duration(cfg.BucketMin) * time.Minute),
+		latencies:    stats.NewQuantile(0.01),
+		lifetimes:    stats.NewQuantile(0.01),
+		gapP2:        stats.NewP2(0.5),
+	}
+	f.bindMetrics()
+	f.build()
+
+	sim.AtCall(netsim.Epoch.Add(f.bucket), runSample, f)
+	sim.RunUntil(f.end)
+
+	return f.report(), nil
+}
+
+// build constructs servers, users, and their initial wake-ups.
+func (f *Fleet) build() {
+	cfg := f.cfg
+	nServers := (cfg.Users + cfg.UsersPerServer - 1) / cfg.UsersPerServer
+
+	var totalW float64
+	for _, s := range cfg.Mix {
+		totalW += s.Weight
+	}
+	mixRng := rand.New(rand.NewSource(seedfork.Fork(cfg.Seed, "fleet.mix")))
+
+	f.servers = make([]serverRec, nServers)
+	f.sargs = make([]srvArg, nServers)
+	for j := range f.servers {
+		draw := mixRng.Float64() * totalW
+		impl := cfg.Mix[len(cfg.Mix)-1]
+		for _, s := range cfg.Mix {
+			if draw < s.Weight {
+				impl = s
+				break
+			}
+			draw -= s.Weight
+		}
+		im := implementations[impl.Impl]
+		spec, err := sscrypto.Lookup(im.method)
+		if err != nil {
+			panic(err) // implementations table only names built-in methods
+		}
+		srv, err := reaction.NewServer(im.profile, spec, fmt.Sprintf("fleet-%d", j))
+		if err != nil {
+			panic(err)
+		}
+		ep := f.serverEndpoint()
+		f.servers[j] = serverRec{
+			host:      newServerHost(f, srv, cfg.UsersPerServer, cfg.Hours, cfg.PeakFlowsPerHour),
+			ep:        ep,
+			spec:      spec,
+			activated: netsim.Epoch,
+		}
+		f.sargs[j] = srvArg{f: f, idx: int32(j)}
+		f.epochs[ep] = netsim.Epoch
+		f.net.AddHost(ep, f.servers[j].host)
+	}
+
+	f.users = make([]user, cfg.Users)
+	f.uargs = make([]userArg, cfg.Users)
+	f.clients = make([]netsim.Endpoint, cfg.Users)
+	for i := range f.users {
+		u := &f.users[i]
+		u.rng = uint64(seedfork.Fork(cfg.Seed, "fleet.user", int64(i)))
+		u.server = int32(i / cfg.UsersPerServer)
+		// Small personal jitter, not a uniform 24h shift: the population
+		// shares a timezone, so the aggregate keeps its diurnal shape.
+		u.phaseMin = int16(splitmix(&u.rng)%181) - 90
+		u.wl = uint8(trafficgen.CurlLoop)
+		if u.f64() < cfg.BrowseShare {
+			u.wl = uint8(trafficgen.BrowseAlexa)
+		}
+		f.uargs[i] = userArg{f: f, idx: int32(i)}
+		f.clients[i] = netsim.Endpoint{
+			IP:   fmt.Sprintf("100.%d.%d.%d", 64+i/62500, (i/250)%250, i%250+1),
+			Port: 40000,
+		}
+		// Stagger first wake-ups uniformly over one mean gap, so the
+		// population is in Poisson steady state from the start.
+		first := netsim.Epoch.Add(time.Duration(u.f64() * float64(f.meanGap)))
+		f.wheel.Schedule(first, runUserWake, &f.uargs[i])
+	}
+}

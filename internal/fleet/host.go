@@ -1,0 +1,72 @@
+package fleet
+
+import (
+	"encoding/binary"
+
+	"sslab/internal/bloom"
+	"sslab/internal/netsim"
+	"sslab/internal/reaction"
+)
+
+// serverHost is the fleet's Shadowsocks server: the same semantics as
+// the experiment package's ServerHost — genuine clients are served and
+// their nonces enter the replay filter; identical replays against a
+// server without replay defense are served with data; everything else
+// gets the reaction engine's verdict — but with O(1) memory. Where
+// ServerHost keys every payload ever seen in an unbounded map, the
+// fleet host remembers payload hashes in a fixed-size Bloom filter
+// sized for the epoch's expected flow count: a false positive
+// (mistaking a fresh probe payload for a replay) is ≪0.1% and only
+// matters for undefended servers, whose genuine replays dominate their
+// evidence anyway.
+type serverHost struct {
+	f    *Fleet
+	srv  *reaction.Server
+	seen *bloom.Filter
+	key  [8]byte
+}
+
+// newServerHost sizes the replay-seen filter for the server's expected
+// epoch traffic: users × hours × peak rate, with headroom.
+func newServerHost(f *Fleet, srv *reaction.Server, usersPerServer, hours int, peakRate float64) *serverHost {
+	capacity := int(float64(usersPerServer*hours)*peakRate*1.5) + 64
+	return &serverHost{
+		f:    f,
+		srv:  srv,
+		seen: bloom.New(capacity, 1e-3),
+	}
+}
+
+// hashPayload reduces a first payload to the 8-byte key the Bloom
+// filter stores — inline FNV-1a, so the per-flow path stays
+// allocation-free (hash.Hash64 construction would allocate).
+func (h *serverHost) hashPayload(p []byte) []byte {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	sum := uint64(offset64)
+	for _, b := range p {
+		sum ^= uint64(b)
+		sum *= prime64
+	}
+	binary.BigEndian.PutUint64(h.key[:], sum)
+	return h.key[:]
+}
+
+// HandleFlow implements netsim.Host.
+func (h *serverHost) HandleFlow(fl *netsim.Flow) netsim.Outcome {
+	now := h.f.sim.Now()
+	if !fl.Probe {
+		// A flow silenced by null-routing carries no payload; the server
+		// never saw a connection, so nothing enters the replay filter.
+		if fl.FirstPayload == nil {
+			return netsim.Outcome{Reaction: reaction.Timeout}
+		}
+		h.srv.RegisterNonce(fl.FirstPayload, now)
+		h.seen.Add(h.hashPayload(fl.FirstPayload))
+		return netsim.Outcome{Reaction: reaction.Data, ResponseLen: 1200}
+	}
+	if fl.FirstPayload != nil && h.seen.Test(h.hashPayload(fl.FirstPayload)) && !h.srv.Profile.ReplayDefense {
+		return netsim.Outcome{Reaction: reaction.Data, ResponseLen: 800}
+	}
+	r := h.srv.ReactAt(fl.FirstPayload, fl.GeneratedAt, now)
+	return netsim.Outcome{Reaction: r.Reaction}
+}

@@ -1,0 +1,144 @@
+package fleet
+
+import (
+	"fmt"
+	"strings"
+
+	"sslab/internal/stats"
+)
+
+// Report is the population-scale reduction of one fleet run. Every
+// field is a scalar, a quantile digest, or a bucketed series — the
+// campaign engine's generic flattener turns the scalars and digests
+// into mean ± CI metrics across seeds and unions the series.
+type Report struct {
+	Config Config
+
+	Users   int
+	Servers int
+
+	// Engine totals.
+	Wakeups int64
+	Flows   int64
+
+	// Censor totals.
+	Triggers         int
+	PayloadsRecorded int
+	ProbesSent       int
+	Blocks           int
+
+	// Population outcomes.
+	EverBlockedUsers    int64
+	BlockedUserFraction float64
+	BlockedAtEnd        int64
+	Replacements        int64
+
+	// DetectionLatency is block time − endpoint activation, in seconds.
+	DetectionLatency stats.Summary
+	// ServerLifetime is endpoint activation → first user-observed
+	// failure, in seconds, over epochs that ended in replacement
+	// (epochs alive at run end are censored and excluded).
+	ServerLifetime stats.Summary
+	// MedianWakeGapS is the P² estimate of the median wake-up gap — a
+	// model diagnostic (should track 60·ln2/PeakFlowsPerHour minutes).
+	MedianWakeGapS float64
+
+	// BucketMin is the width of the series buckets, minutes.
+	BucketMin int
+	// BlockedCurve samples the currently-cut-off user count per bucket.
+	BlockedCurve []int64
+	// ProbeLoad counts probes the censor sent per bucket.
+	ProbeLoad []int64
+	// FlowsPerBucket counts genuine client flows per bucket.
+	FlowsPerBucket stats.TimeSeries
+}
+
+// report reduces the finished run.
+func (f *Fleet) report() *Report {
+	// Resolve block events to detection latencies against endpoint
+	// activation epochs (both O(blocks); no per-flow state involved).
+	for _, ev := range f.gfw.BlockEvents {
+		if act, ok := f.epochs[ev.Server]; ok {
+			f.latencies.Observe(ev.Time.Sub(act).Seconds())
+		}
+	}
+	r := &Report{
+		Config:           f.cfg,
+		Users:            f.cfg.Users,
+		Servers:          len(f.servers),
+		Wakeups:          f.wakeups,
+		Flows:            f.flows,
+		Triggers:         f.gfw.Triggers,
+		PayloadsRecorded: f.gfw.PayloadsRecorded,
+		ProbesSent:       f.gfw.ProbesSent,
+		Blocks:           len(f.gfw.BlockEvents),
+		EverBlockedUsers: f.everBlocked,
+		BlockedAtEnd:     f.blockedNow,
+		Replacements:     f.replacements,
+		DetectionLatency: f.latencies.Summarize(),
+		ServerLifetime:   f.lifetimes.Summarize(),
+		MedianWakeGapS:   f.gapP2.Value(),
+		BucketMin:        f.cfg.BucketMin,
+		BlockedCurve:     f.blockedCurve,
+		ProbeLoad:        f.probeLoad,
+		FlowsPerBucket:   *f.flowsTS,
+	}
+	if f.cfg.Users > 0 {
+		r.BlockedUserFraction = float64(f.everBlocked) / float64(f.cfg.Users)
+	}
+	return r
+}
+
+func ints(v []int64) []int {
+	out := make([]int, len(v))
+	for i, x := range v {
+		out[i] = int(x)
+	}
+	return out
+}
+
+func fmtDur(sec float64) string {
+	switch {
+	case sec <= 0:
+		return "-"
+	case sec < 90:
+		return fmt.Sprintf("%.0fs", sec)
+	case sec < 2*3600:
+		return fmt.Sprintf("%.1fm", sec/60)
+	default:
+		return fmt.Sprintf("%.1fh", sec/3600)
+	}
+}
+
+// Render implements experiment.Report.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fleet: %d users on %d servers, %dh virtual (seed %d)\n",
+		r.Users, r.Servers, r.Config.Hours, r.Config.Seed)
+	fmt.Fprintf(&b, "  wake-ups %d, flows %d (median gap %s)\n",
+		r.Wakeups, r.Flows, fmtDur(r.MedianWakeGapS))
+	fmt.Fprintf(&b, "  censor: triggers %d, recorded %d, probes %d, block events %d\n",
+		r.Triggers, r.PayloadsRecorded, r.ProbesSent, r.Blocks)
+	fmt.Fprintf(&b, "  users ever blocked: %d (%.2f%%), still cut off at end: %d\n",
+		r.EverBlockedUsers, 100*r.BlockedUserFraction, r.BlockedAtEnd)
+	fmt.Fprintf(&b, "  servers replaced: %d\n", r.Replacements)
+	if r.DetectionLatency.N > 0 {
+		fmt.Fprintf(&b, "  detection latency: p25 %s, median %s, p90 %s (n=%d)\n",
+			fmtDur(r.DetectionLatency.P25), fmtDur(r.DetectionLatency.P50),
+			fmtDur(r.DetectionLatency.P90), r.DetectionLatency.N)
+	}
+	if r.ServerLifetime.N > 0 {
+		fmt.Fprintf(&b, "  server lifetime (replaced epochs): median %s, p90 %s (n=%d)\n",
+			fmtDur(r.ServerLifetime.P50), fmtDur(r.ServerLifetime.P90), r.ServerLifetime.N)
+	}
+	if len(r.BlockedCurve) > 0 {
+		fmt.Fprintf(&b, "  blocked users over time:  %s\n", stats.Sparkline(ints(r.BlockedCurve), 1))
+	}
+	if len(r.ProbeLoad) > 0 {
+		fmt.Fprintf(&b, "  prober load over time:    %s\n", stats.Sparkline(ints(r.ProbeLoad), 1))
+	}
+	if len(r.FlowsPerBucket.Counts) > 0 {
+		fmt.Fprintf(&b, "  client flows over time:   %s\n", stats.Sparkline(r.FlowsPerBucket.Ints(), 1))
+	}
+	return b.String()
+}

@@ -73,6 +73,12 @@ type Config struct {
 	// impaired link delays them past this budget, so ideal-link runs are
 	// unaffected.
 	Timeouts netsim.Timeouts `json:"Timeouts,omitzero"`
+	// NoProbeLog disables the packet-level capture log of outgoing
+	// probes. Population-scale fleet runs emit hundreds of thousands of
+	// probes whose per-record fingerprints nothing reads; the aggregate
+	// counters, BlockEvents and per-server state are unaffected. The
+	// zero value keeps the log, so existing experiments are unchanged.
+	NoProbeLog bool `json:"NoProbeLog,omitzero"`
 }
 
 func (c Config) withDefaults() Config {
@@ -543,25 +549,27 @@ func (g *GFW) emitAttempt(server netsim.Endpoint, s *serverState, typ probe.Type
 	outcome := g.net.Connect(src.Endpoint(), server, payload, true, genAt)
 	g.ProbesSent++
 	g.mProbes.Inc()
-	g.Log.Add(capture.Record{
-		Time:    g.sim.Now(),
-		SrcIP:   src.IP,
-		SrcPort: src.Port,
-		DstIP:   server.IP,
-		DstPort: server.Port,
-		ASN:     src.ASN,
-		TTL:     src.TTL,
-		IPID:    src.IPID,
-		TSval:   src.TSval,
-		Payload: payload,
-		Type:    typ,
-		ReplayOf: func() time.Time {
-			if typ.Replay() {
-				return replayOf
-			}
-			return time.Time{}
-		}(),
-	})
+	if !g.cfg.NoProbeLog {
+		g.Log.Add(capture.Record{
+			Time:    g.sim.Now(),
+			SrcIP:   src.IP,
+			SrcPort: src.Port,
+			DstIP:   server.IP,
+			DstPort: server.Port,
+			ASN:     src.ASN,
+			TTL:     src.TTL,
+			IPID:    src.IPID,
+			TSval:   src.TSval,
+			Payload: payload,
+			Type:    typ,
+			ReplayOf: func() time.Time {
+				if typ.Replay() {
+					return replayOf
+				}
+				return time.Time{}
+			}(),
+		})
+	}
 	if outcome.Blocked {
 		return
 	}

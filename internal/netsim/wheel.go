@@ -1,0 +1,264 @@
+package netsim
+
+import (
+	"math"
+	"math/bits"
+	"time"
+
+	"sslab/internal/metrics"
+)
+
+// The wheel geometry: three levels of 256 slots each. With the default
+// 1-second tick the levels span ~4 minutes, ~18 hours and ~194 days —
+// enough that a multi-month experiment never overflows (and anything
+// beyond the top level falls back to the Sim heap, which is always
+// correct, just not O(1)).
+const (
+	wheelBits   = 8
+	wheelSlots  = 1 << wheelBits
+	wheelLevels = 3
+	wheelWords  = wheelSlots / 64
+)
+
+// wentry is one deferred callback parked in the wheel. It carries the
+// exact target time, so parking in a coarse slot never quantizes
+// delivery: entries are handed to the Sim heap with their original at.
+type wentry struct {
+	at   time.Time
+	seq  uint64
+	call func(any)
+	arg  any
+}
+
+// anchorArg carries one anchor wake-up through the closure-free
+// netsim.AtCall path; recycled via Wheel.anchorFree.
+type anchorArg struct {
+	w    *Wheel
+	tick int64
+}
+
+// Wheel is a hierarchical timing wheel layered in front of a Sim's
+// event heap. The heap is O(log n) per operation with n live events; a
+// population-scale workload keeping 10⁵–10⁶ timers outstanding would
+// pay that on every schedule. The wheel parks far-future callbacks in
+// power-of-256 tick buckets (O(1) insert), cascades them toward level 0
+// as virtual time approaches (each entry moves at most wheelLevels
+// times), and releases them into the Sim heap only when they are due —
+// so the heap holds just the imminent horizon and the per-event cost is
+// O(1) amortized.
+//
+// Contract:
+//   - Delivery is exact-time: entries fire at precisely the Schedule
+//     time (wheel slots only defer *when the heap learns about them*).
+//   - Entries with equal target times dispatch in Schedule order.
+//   - The wheel is single-threaded and deterministic: given the same
+//     schedule sequence it produces the same dispatch sequence, so it
+//     is safe anywhere the Sim heap is.
+//   - Steady state is allocation-free: slot slices and anchor args are
+//     pooled, and arg is a caller-owned pointer (no boxing).
+//
+// The wheel wakes itself with "anchor" events on the Sim heap, one per
+// occupied-slot boundary. The Sim cannot cancel events, so superseded
+// anchors simply fire as no-ops (advance finds nothing due).
+type Wheel struct {
+	sim  *Sim
+	tick time.Duration
+
+	slots [wheelLevels][wheelSlots][]wentry
+	occ   [wheelLevels][wheelWords]uint64
+
+	count int
+	seq   uint64
+
+	// armed is the earliest outstanding anchor tick (math.MaxInt64 when
+	// none). Later anchors may also be outstanding; they fire as no-ops.
+	armed      int64
+	anchorFree []*anchorArg
+
+	mScheduled *metrics.Counter
+	mDirect    *metrics.Counter
+	mCascaded  *metrics.Counter
+	mAnchors   *metrics.Counter
+}
+
+// NewWheel attaches a timing wheel to sim. tick is the level-0 slot
+// width; entries closer than one tick go straight to the Sim heap.
+// tick <= 0 selects the 1-second default.
+func NewWheel(sim *Sim, tick time.Duration) *Wheel {
+	if tick <= 0 {
+		tick = time.Second
+	}
+	w := &Wheel{sim: sim, tick: tick, armed: math.MaxInt64}
+	w.mScheduled = sim.Metrics.Counter("wheel.scheduled")
+	w.mDirect = sim.Metrics.Counter("wheel.direct")
+	w.mCascaded = sim.Metrics.Counter("wheel.cascaded")
+	w.mAnchors = sim.Metrics.Counter("wheel.anchors")
+	return w
+}
+
+// Tick returns the level-0 slot width.
+func (w *Wheel) Tick() time.Duration { return w.tick }
+
+// Len returns the number of entries parked in the wheel (excluding
+// those already released to the Sim heap).
+func (w *Wheel) Len() int { return w.count }
+
+func (w *Wheel) absTick(t time.Time) int64  { return int64(t.Sub(Epoch) / w.tick) }
+func (w *Wheel) tickTime(k int64) time.Time { return Epoch.Add(time.Duration(k) * w.tick) }
+
+// Schedule parks call(arg) for dispatch at absolute time at (clamped to
+// now if in the past). It is the wheel counterpart of Sim.AtCall and
+// shares its closure-free contract: arg should be a long-lived pointer.
+func (w *Wheel) Schedule(at time.Time, call func(any), arg any) {
+	w.mScheduled.Inc()
+	w.seq++
+	w.place(wentry{at: at, seq: w.seq, call: call, arg: arg})
+}
+
+// After parks call(arg) d from now.
+func (w *Wheel) After(d time.Duration, call func(any), arg any) {
+	w.Schedule(w.sim.Now().Add(d), call, arg)
+}
+
+// place files e into the level whose span covers its remaining delay.
+// Entries due within one tick (or in the past, or beyond the top
+// level's span) bypass the wheel entirely.
+func (w *Wheel) place(e wentry) {
+	T := w.absTick(e.at)
+	cur := w.absTick(w.sim.Now())
+	delta := T - cur
+	if delta < 1 || delta >= wheelSlots<<(wheelBits*(wheelLevels-1)) {
+		w.mDirect.Inc()
+		w.sim.AtCall(e.at, e.call, e.arg)
+		return
+	}
+	level := 0
+	for delta >= wheelSlots<<(wheelBits*level) {
+		level++
+	}
+	slot := int(T>>(wheelBits*level)) & (wheelSlots - 1)
+	w.slots[level][slot] = append(w.slots[level][slot], e)
+	w.occ[level][slot>>6] |= 1 << (slot & 63)
+	w.count++
+	w.arm(w.dueOf(level, T))
+}
+
+// dueOf is the tick at which a level's slot holding an entry at tick T
+// must be processed: the entry's own tick at level 0, the slot's start
+// boundary above (where its contents cascade down).
+func (w *Wheel) dueOf(level int, T int64) int64 {
+	if level == 0 {
+		return T
+	}
+	shift := wheelBits * level
+	return (T >> shift) << shift
+}
+
+// arm schedules an anchor wake-up at tick d unless an earlier (or
+// equal) anchor is already outstanding.
+func (w *Wheel) arm(d int64) {
+	if d >= w.armed {
+		return
+	}
+	w.armed = d
+	var a *anchorArg
+	if n := len(w.anchorFree); n > 0 {
+		a = w.anchorFree[n-1]
+		w.anchorFree = w.anchorFree[:n-1]
+		a.w, a.tick = w, d
+	} else {
+		a = &anchorArg{w: w, tick: d}
+	}
+	w.mAnchors.Inc()
+	w.sim.AtCall(w.tickTime(d), runWheelAnchor, a)
+}
+
+// runWheelAnchor is the netsim.AtCall trampoline for anchor wake-ups.
+func runWheelAnchor(x any) {
+	a := x.(*anchorArg)
+	w, k := a.w, a.tick
+	a.w = nil
+	w.anchorFree = append(w.anchorFree, a)
+	if k == w.armed {
+		w.armed = math.MaxInt64
+	}
+	w.advance()
+}
+
+// advance processes every slot whose due tick has been reached —
+// releasing level-0 entries to the Sim heap and cascading higher-level
+// slots downward — then re-arms for the next occupied boundary.
+// Scanning occupancy bitmaps keeps the pass proportional to occupied
+// slots, not slot count.
+func (w *Wheel) advance() {
+	cur := w.absTick(w.sim.Now())
+	// Highest level first, so cascaded entries land in lower levels
+	// before those are scanned in the same pass.
+	for l := wheelLevels - 1; l >= 0; l-- {
+		for wd := range w.occ[l] {
+			for b := w.occ[l][wd]; b != 0; b &= b - 1 {
+				slot := wd<<6 + bits.TrailingZeros64(b)
+				if w.dueOf(l, w.absTick(w.slots[l][slot][0].at)) <= cur {
+					w.pour(l, slot)
+				}
+			}
+		}
+	}
+	// Re-arm for the earliest remaining boundary.
+	due := int64(math.MaxInt64)
+	for l := 0; l < wheelLevels; l++ {
+		for wd := range w.occ[l] {
+			for b := w.occ[l][wd]; b != 0; b &= b - 1 {
+				slot := wd<<6 + bits.TrailingZeros64(b)
+				if d := w.dueOf(l, w.absTick(w.slots[l][slot][0].at)); d < due {
+					due = d
+				}
+			}
+		}
+	}
+	if due != math.MaxInt64 {
+		w.arm(due)
+	}
+}
+
+// pour empties one slot: level 0 releases entries to the Sim heap in
+// (at, Schedule-order) order; higher levels re-place entries one level
+// down (or directly onto the heap if now imminent).
+func (w *Wheel) pour(level, slot int) {
+	list := w.slots[level][slot]
+	w.slots[level][slot] = list[:0]
+	w.occ[level][slot>>6] &^= 1 << (slot & 63)
+	if level == 0 {
+		sortEntries(list)
+		for i := range list {
+			w.count--
+			w.sim.AtCall(list[i].at, list[i].call, list[i].arg)
+		}
+	} else {
+		w.mCascaded.Add(int64(len(list)))
+		for i := range list {
+			w.count--
+			w.place(list[i])
+		}
+	}
+	// Drop callback/arg references held by the retained backing array.
+	for i := range list {
+		list[i] = wentry{}
+	}
+}
+
+// sortEntries insertion-sorts a slot by (at, seq). Slots are small and
+// near-sorted (append order is Schedule order), so this is cheap and
+// allocation-free; it makes equal-time dispatch order equal Schedule
+// order even when entries reached the slot through different levels.
+func sortEntries(list []wentry) {
+	for i := 1; i < len(list); i++ {
+		e := list[i]
+		j := i - 1
+		for j >= 0 && (list[j].at.After(e.at) || (list[j].at.Equal(e.at) && list[j].seq > e.seq)) {
+			list[j+1] = list[j]
+			j--
+		}
+		list[j+1] = e
+	}
+}

@@ -1,0 +1,241 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// fireLog records dispatches as (virtual time, id) pairs.
+type fireLog struct {
+	sim *Sim
+	got []fireRec
+}
+
+type fireRec struct {
+	at time.Time
+	id int
+}
+
+type fireArg struct {
+	log *fireLog
+	id  int
+}
+
+func runFire(x any) {
+	a := x.(*fireArg)
+	a.log.got = append(a.log.got, fireRec{at: a.log.sim.Now(), id: a.id})
+}
+
+// TestWheelMatchesHeap schedules the same randomized timeline — unique
+// times spanning all three wheel levels plus the direct paths — through
+// a Wheel in one sim and directly onto the heap in another, and
+// requires identical dispatch sequences. The wheel's contract is that
+// it is behaviorally indistinguishable from the heap.
+func TestWheelMatchesHeap(t *testing.T) {
+	const n = 5000
+	rng := rand.New(rand.NewSource(42))
+	offsets := make([]time.Duration, n)
+	for i := range offsets {
+		var span time.Duration
+		switch i % 4 {
+		case 0: // level 0: under 256s
+			span = 250 * time.Second
+		case 1: // level 1: under ~18h
+			span = 17 * time.Hour
+		case 2: // level 2: days
+			span = 40 * 24 * time.Hour
+		default: // overflow: beyond the top level's span
+			span = 300 * 24 * time.Hour
+		}
+		// Unique sub-second components make the total order unambiguous.
+		offsets[i] = time.Duration(rng.Int63n(int64(span))) + time.Duration(i)*time.Nanosecond
+	}
+
+	runTimeline := func(useWheel bool) []fireRec {
+		sim := NewSim()
+		log := &fireLog{sim: sim}
+		wheel := NewWheel(sim, time.Second)
+		args := make([]fireArg, n)
+		for i, off := range offsets {
+			args[i] = fireArg{log: log, id: i}
+			if useWheel {
+				wheel.Schedule(Epoch.Add(off), runFire, &args[i])
+			} else {
+				sim.AtCall(Epoch.Add(off), runFire, &args[i])
+			}
+		}
+		sim.Run()
+		return log.got
+	}
+
+	heap := runTimeline(false)
+	viaWheel := runTimeline(true)
+	if len(heap) != n || len(viaWheel) != n {
+		t.Fatalf("dispatched %d (heap) / %d (wheel) events, want %d", len(heap), len(viaWheel), n)
+	}
+	for i := range heap {
+		if heap[i] != viaWheel[i] {
+			t.Fatalf("dispatch %d: heap fired (%v, id %d), wheel fired (%v, id %d)",
+				i, heap[i].at, heap[i].id, viaWheel[i].at, viaWheel[i].id)
+		}
+	}
+}
+
+// TestWheelExactTimes verifies parking in coarse slots never quantizes
+// delivery: each callback runs at precisely its Schedule time.
+func TestWheelExactTimes(t *testing.T) {
+	sim := NewSim()
+	w := NewWheel(sim, time.Second)
+	log := &fireLog{sim: sim}
+	offsets := []time.Duration{
+		1500 * time.Millisecond,
+		90*time.Second + 123*time.Millisecond,
+		3*time.Hour + 7*time.Nanosecond,
+		20*24*time.Hour + time.Microsecond,
+	}
+	args := make([]fireArg, len(offsets))
+	for i, off := range offsets {
+		args[i] = fireArg{log: log, id: i}
+		w.Schedule(Epoch.Add(off), runFire, &args[i])
+	}
+	sim.Run()
+	if len(log.got) != len(offsets) {
+		t.Fatalf("fired %d, want %d", len(log.got), len(offsets))
+	}
+	for i, off := range offsets {
+		if !log.got[i].at.Equal(Epoch.Add(off)) {
+			t.Errorf("event %d fired at %v, want %v", i, log.got[i].at, Epoch.Add(off))
+		}
+	}
+}
+
+// TestWheelEqualTimeOrder pins the tie-break contract: entries with
+// equal target times dispatch in Schedule order, even when they reach
+// level 0 through different levels (one parked far ahead and cascaded,
+// one scheduled late directly into level 0).
+func TestWheelEqualTimeOrder(t *testing.T) {
+	sim := NewSim()
+	w := NewWheel(sim, time.Second)
+	log := &fireLog{sim: sim}
+	target := Epoch.Add(2*time.Hour + 300*time.Millisecond)
+
+	args := make([]fireArg, 4)
+	for i := range args {
+		args[i] = fireArg{log: log, id: i}
+	}
+	// 0 and 1 park in level 1 and cascade; then a hop to t-30s makes 2
+	// and 3 level-0 placements for the same instant.
+	w.Schedule(target, runFire, &args[0])
+	w.Schedule(target, runFire, &args[1])
+	hop := target.Add(-30 * time.Second)
+	sim.At(hop, func() {
+		w.Schedule(target, runFire, &args[2])
+		w.Schedule(target, runFire, &args[3])
+	})
+	sim.Run()
+	for i := range args {
+		if log.got[i].id != i {
+			t.Fatalf("dispatch order %v, want Schedule order 0,1,2,3", log.got)
+		}
+	}
+}
+
+// chainState is a self-rescheduling timer chain: each firing draws its
+// next gap from a private deterministic stream, mimicking the fleet's
+// per-user wake-up pattern.
+type chainState struct {
+	log   *fireLog
+	sched func(at time.Time, call func(any), arg any)
+	rng   *rand.Rand
+	id    int
+	left  int
+}
+
+func runChain(x any) {
+	c := x.(*chainState)
+	c.log.got = append(c.log.got, fireRec{at: c.log.sim.Now(), id: c.id})
+	if c.left == 0 {
+		return
+	}
+	c.left--
+	gap := time.Duration(c.rng.Int63n(int64(40*time.Minute))) + time.Duration(c.id+1)*time.Nanosecond
+	c.sched(c.log.sim.Now().Add(gap), runChain, c)
+}
+
+// TestWheelSelfRescheduling compares wheel and heap under the workload
+// the wheel exists for: many concurrent chains rescheduling themselves
+// from inside their own callbacks.
+func TestWheelSelfRescheduling(t *testing.T) {
+	const chains, hops = 60, 50
+	run := func(useWheel bool) []fireRec {
+		sim := NewSim()
+		log := &fireLog{sim: sim}
+		w := NewWheel(sim, time.Second)
+		sched := sim.AtCall
+		if useWheel {
+			sched = w.Schedule
+		}
+		states := make([]chainState, chains)
+		for i := range states {
+			states[i] = chainState{
+				log: log, sched: sched, id: i, left: hops,
+				rng: rand.New(rand.NewSource(int64(1000 + i))),
+			}
+			sched(Epoch.Add(time.Duration(i)*time.Second), runChain, &states[i])
+		}
+		sim.Run()
+		return log.got
+	}
+	heap := run(false)
+	viaWheel := run(true)
+	if len(heap) != len(viaWheel) {
+		t.Fatalf("heap fired %d, wheel fired %d", len(heap), len(viaWheel))
+	}
+	for i := range heap {
+		if heap[i] != viaWheel[i] {
+			t.Fatalf("dispatch %d diverged: heap (%v, %d), wheel (%v, %d)",
+				i, heap[i].at, heap[i].id, viaWheel[i].at, viaWheel[i].id)
+		}
+	}
+}
+
+// TestWheelRunUntil verifies entries beyond a RunUntil horizon stay
+// parked and fire on a later resume.
+func TestWheelRunUntil(t *testing.T) {
+	sim := NewSim()
+	w := NewWheel(sim, time.Second)
+	log := &fireLog{sim: sim}
+	args := []fireArg{{log, 0}, {log, 1}}
+	w.Schedule(Epoch.Add(time.Hour), runFire, &args[0])
+	w.Schedule(Epoch.Add(48*time.Hour), runFire, &args[1])
+
+	sim.RunUntil(Epoch.Add(24 * time.Hour))
+	if len(log.got) != 1 || log.got[0].id != 0 {
+		t.Fatalf("after RunUntil(24h): fired %v, want only id 0", log.got)
+	}
+	if w.Len() != 1 {
+		t.Fatalf("wheel holds %d entries, want 1", w.Len())
+	}
+	sim.Run()
+	if len(log.got) != 2 || log.got[1].id != 1 {
+		t.Fatalf("after Run: fired %v, want ids 0,1", log.got)
+	}
+}
+
+// TestWheelPastSchedules go straight to the heap, clamped like Sim.At.
+func TestWheelPastSchedules(t *testing.T) {
+	sim := NewSim()
+	w := NewWheel(sim, time.Second)
+	sim.RunUntil(Epoch.Add(time.Hour))
+	log := &fireLog{sim: sim}
+	a := fireArg{log, 7}
+	w.Schedule(Epoch.Add(time.Minute), runFire, &a) // already past
+	sim.Run()
+	if len(log.got) != 1 || !log.got[0].at.Equal(Epoch.Add(time.Hour)) {
+		t.Fatalf("past schedule fired %v, want clamped to now", log.got)
+	}
+	if w.Len() != 0 {
+		t.Fatalf("wheel holds %d entries, want 0", w.Len())
+	}
+}

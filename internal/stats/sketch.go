@@ -1,0 +1,348 @@
+// Streaming sketches for population-scale runs: a fleet simulating 10⁵+
+// users cannot afford to materialize per-flow or per-event records just
+// to report distributions at the end. The three types here keep O(1) or
+// O(log range) state per metric:
+//
+//   - Quantile: a mergeable log-bucketed quantile sketch (DDSketch-style
+//     relative-accuracy guarantee), for distributions reported across
+//     sweep shards.
+//   - P2: the Jain–Chlamtac P² estimator, five markers of state for one
+//     online quantile where mergeability is not needed.
+//   - TimeSeries: fixed-width mergeable event counters over virtual
+//     time, for curves (flows, probe load) that must add across shards.
+
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Quantile is a mergeable streaming quantile sketch over non-negative
+// values. Values are assigned to logarithmic buckets of ratio
+// γ = (1+α)/(1−α), which bounds the relative error of any reported
+// quantile by α (plus the error of the min/max clamp at the extremes).
+// Merge is exact (bucket counts add), so it is associative and
+// commutative — the property the campaign engine's shard reductions
+// require. The zero value is unusable; construct with NewQuantile.
+type Quantile struct {
+	// Alpha is the relative-accuracy target. Fixed at construction;
+	// only sketches with equal Alpha merge.
+	Alpha float64
+	// Buckets maps bucket index ⌈log_γ x⌉ to its count.
+	Buckets map[int]int64
+	// Zeros counts observations ≤ 0 (clamped to zero).
+	Zeros int64
+	// Total is the observation count.
+	Total int64
+	// Lo and Hi are the exact extremes, used to clamp tail quantiles.
+	Lo, Hi float64
+
+	// logGamma caches log γ; recomputed on demand after JSON decoding.
+	logGamma float64
+}
+
+// NewQuantile returns a sketch with relative accuracy alpha
+// (0 < alpha < 1); alpha <= 0 selects the 1% default.
+func NewQuantile(alpha float64) *Quantile {
+	if alpha <= 0 {
+		alpha = 0.01
+	}
+	return &Quantile{Alpha: alpha, Buckets: map[int]int64{}}
+}
+
+func (s *Quantile) gammaLog() float64 {
+	if s.logGamma == 0 {
+		s.logGamma = math.Log((1 + s.Alpha) / (1 - s.Alpha))
+	}
+	return s.logGamma
+}
+
+// Observe adds one value. Values ≤ 0 land in the zero bucket.
+func (s *Quantile) Observe(x float64) {
+	if s.Total == 0 || x < s.Lo {
+		s.Lo = x
+	}
+	if s.Total == 0 || x > s.Hi {
+		s.Hi = x
+	}
+	s.Total++
+	if x <= 0 {
+		s.Zeros++
+		return
+	}
+	s.Buckets[int(math.Ceil(math.Log(x)/s.gammaLog()))]++
+}
+
+// Count returns the number of observations.
+func (s *Quantile) Count() int64 { return s.Total }
+
+// Quantile returns an estimate of the q-quantile (q in [0,1]) with
+// relative error ≤ Alpha, or NaN when the sketch is empty.
+func (s *Quantile) Quantile(q float64) float64 {
+	if s.Total == 0 {
+		return math.NaN()
+	}
+	rank := int64(math.Ceil(q * float64(s.Total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank >= s.Total {
+		return s.Hi
+	}
+	if rank <= s.Zeros {
+		return 0
+	}
+	if rank == 1 {
+		return s.Lo
+	}
+	keys := make([]int, 0, len(s.Buckets))
+	for k := range s.Buckets {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	cum := s.Zeros
+	gamma := (1 + s.Alpha) / (1 - s.Alpha)
+	for _, k := range keys {
+		cum += s.Buckets[k]
+		if cum >= rank {
+			// Bucket k covers (γ^(k−1), γ^k]; the midpoint estimate
+			// 2γ^k/(γ+1) has relative error ≤ α anywhere in the bucket.
+			v := 2 * math.Pow(gamma, float64(k)) / (gamma + 1)
+			return math.Min(math.Max(v, s.Lo), s.Hi)
+		}
+	}
+	return s.Hi
+}
+
+// Merge folds o into s. Sketches must share Alpha. Merging is exact:
+// the result is identical to one sketch having observed both streams.
+func (s *Quantile) Merge(o *Quantile) error {
+	if o == nil || o.Total == 0 {
+		return nil
+	}
+	if s.Alpha != o.Alpha {
+		return fmt.Errorf("stats: merging quantile sketches with alpha %v and %v", s.Alpha, o.Alpha)
+	}
+	if s.Total == 0 || o.Lo < s.Lo {
+		s.Lo = o.Lo
+	}
+	if s.Total == 0 || o.Hi > s.Hi {
+		s.Hi = o.Hi
+	}
+	if s.Buckets == nil {
+		s.Buckets = map[int]int64{}
+	}
+	for k, c := range o.Buckets {
+		s.Buckets[k] += c
+	}
+	s.Zeros += o.Zeros
+	s.Total += o.Total
+	return nil
+}
+
+// Summary is the compact quantile digest reports embed: plain numeric
+// fields, so the campaign engine's generic flattener reduces each to a
+// mean ± CI metric across seeds.
+type Summary struct {
+	N                  int64
+	Min                float64
+	P25, P50, P75, P90 float64
+	Max                float64
+}
+
+// Summarize digests the sketch. Empty sketches summarize to zeros.
+func (s *Quantile) Summarize() Summary {
+	if s.Total == 0 {
+		return Summary{}
+	}
+	return Summary{
+		N:   s.Total,
+		Min: s.Lo,
+		P25: s.Quantile(0.25),
+		P50: s.Quantile(0.50),
+		P75: s.Quantile(0.75),
+		P90: s.Quantile(0.90),
+		Max: s.Hi,
+	}
+}
+
+// P2 is the Jain–Chlamtac P² estimator: one quantile tracked online
+// with five markers and no sample storage. It is not mergeable (marker
+// positions are stream-order dependent) — use Quantile for anything
+// that crosses shard boundaries.
+type P2 struct {
+	p    float64
+	n    int64
+	q    [5]float64 // marker heights
+	pos  [5]float64 // marker positions (1-based)
+	want [5]float64 // desired positions
+	inc  [5]float64 // desired-position increments
+}
+
+// NewP2 returns an estimator for the p-quantile (0 < p < 1).
+func NewP2(p float64) *P2 {
+	e := &P2{p: p}
+	e.inc = [5]float64{0, p / 2, p, (1 + p) / 2, 1}
+	return e
+}
+
+// Count returns the number of observations.
+func (e *P2) Count() int64 { return e.n }
+
+// Observe adds one value.
+func (e *P2) Observe(x float64) {
+	if e.n < 5 {
+		e.q[e.n] = x
+		e.n++
+		if e.n == 5 {
+			sort.Float64s(e.q[:])
+			for i := range e.pos {
+				e.pos[i] = float64(i + 1)
+				e.want[i] = 1 + 4*e.inc[i]
+			}
+		}
+		return
+	}
+	e.n++
+	// Locate the cell and bump the extreme markers.
+	var k int
+	switch {
+	case x < e.q[0]:
+		e.q[0], k = x, 0
+	case x < e.q[1]:
+		k = 0
+	case x < e.q[2]:
+		k = 1
+	case x < e.q[3]:
+		k = 2
+	case x <= e.q[4]:
+		k = 3
+	default:
+		e.q[4], k = x, 3
+	}
+	for i := k + 1; i < 5; i++ {
+		e.pos[i]++
+	}
+	for i := range e.want {
+		e.want[i] += e.inc[i]
+	}
+	// Nudge interior markers toward their desired positions with the
+	// piecewise-parabolic (P²) update, falling back to linear when the
+	// parabola would leave the bracket.
+	for i := 1; i <= 3; i++ {
+		d := e.want[i] - e.pos[i]
+		if (d >= 1 && e.pos[i+1]-e.pos[i] > 1) || (d <= -1 && e.pos[i-1]-e.pos[i] < -1) {
+			sign := 1.0
+			if d < 0 {
+				sign = -1.0
+			}
+			qp := e.parabolic(i, sign)
+			if e.q[i-1] < qp && qp < e.q[i+1] {
+				e.q[i] = qp
+			} else {
+				e.q[i] = e.linear(i, sign)
+			}
+			e.pos[i] += sign
+		}
+	}
+}
+
+func (e *P2) parabolic(i int, d float64) float64 {
+	return e.q[i] + d/(e.pos[i+1]-e.pos[i-1])*
+		((e.pos[i]-e.pos[i-1]+d)*(e.q[i+1]-e.q[i])/(e.pos[i+1]-e.pos[i])+
+			(e.pos[i+1]-e.pos[i]-d)*(e.q[i]-e.q[i-1])/(e.pos[i]-e.pos[i-1]))
+}
+
+func (e *P2) linear(i int, d float64) float64 {
+	return e.q[i] + d*(e.q[int(float64(i)+d)]-e.q[i])/(e.pos[int(float64(i)+d)]-e.pos[i])
+}
+
+// Value returns the current estimate; exact while fewer than five
+// observations have arrived, NaN when empty.
+func (e *P2) Value() float64 {
+	switch {
+	case e.n == 0:
+		return math.NaN()
+	case e.n < 5:
+		buf := e.q
+		sort.Float64s(buf[:e.n])
+		rank := int(math.Ceil(e.p * float64(e.n)))
+		if rank < 1 {
+			rank = 1
+		}
+		return buf[rank-1]
+	default:
+		return e.q[2]
+	}
+}
+
+// TimeSeries is a mergeable series of event counts in fixed-width
+// buckets of virtual time, offset from the simulation epoch. Merging
+// sums element-wise, so it is associative and commutative.
+type TimeSeries struct {
+	// Bucket is the bucket width.
+	Bucket time.Duration
+	// Counts holds one count per bucket, from offset zero.
+	Counts []int64
+}
+
+// NewTimeSeries returns a series with the given bucket width;
+// bucket <= 0 selects one minute.
+func NewTimeSeries(bucket time.Duration) *TimeSeries {
+	if bucket <= 0 {
+		bucket = time.Minute
+	}
+	return &TimeSeries{Bucket: bucket}
+}
+
+// Add counts n events at virtual-time offset at (negative offsets
+// land in bucket 0), extending the series as needed.
+func (t *TimeSeries) Add(at time.Duration, n int64) {
+	i := 0
+	if at > 0 {
+		i = int(at / t.Bucket)
+	}
+	for len(t.Counts) <= i {
+		t.Counts = append(t.Counts, 0)
+	}
+	t.Counts[i] += n
+}
+
+// Sum returns the total event count.
+func (t *TimeSeries) Sum() int64 {
+	var s int64
+	for _, c := range t.Counts {
+		s += c
+	}
+	return s
+}
+
+// Ints converts the counts for rendering (see Sparkline).
+func (t *TimeSeries) Ints() []int {
+	out := make([]int, len(t.Counts))
+	for i, c := range t.Counts {
+		out[i] = int(c)
+	}
+	return out
+}
+
+// Merge folds o into t. Series must share the bucket width; the longer
+// tail is kept.
+func (t *TimeSeries) Merge(o *TimeSeries) error {
+	if o == nil || len(o.Counts) == 0 {
+		return nil
+	}
+	if t.Bucket != o.Bucket {
+		return fmt.Errorf("stats: merging time series with buckets %v and %v", t.Bucket, o.Bucket)
+	}
+	for len(t.Counts) < len(o.Counts) {
+		t.Counts = append(t.Counts, 0)
+	}
+	for i, c := range o.Counts {
+		t.Counts[i] += c
+	}
+	return nil
+}

@@ -1,0 +1,52 @@
+package trafficgen
+
+import (
+	"bytes"
+	"testing"
+
+	"sslab/internal/sscrypto"
+)
+
+// TestAppendMatchesAllocForm pins the contract the fleet's golden
+// cross-check rests on: the append forms draw exactly the same random
+// values as the allocating forms, so two generators with equal seeds
+// stay bit-identical no matter which form each uses per call.
+func TestAppendMatchesAllocForm(t *testing.T) {
+	specs := []sscrypto.Spec{}
+	for _, m := range []string{"aes-256-ctr", "aes-256-gcm", "chacha20-ietf-poly1305"} {
+		spec, err := sscrypto.Lookup(m)
+		if err != nil {
+			t.Fatalf("lookup %s: %v", m, err)
+		}
+		specs = append(specs, spec)
+	}
+	workloads := []Workload{CurlHTTP, CurlHTTPS, BrowseAlexa, CurlLoop}
+
+	alloc := New(99)
+	appender := New(99)
+	var buf []byte
+	for i := 0; i < 200; i++ {
+		w := workloads[i%len(workloads)]
+		spec := specs[i%len(specs)]
+		want := alloc.WireFirstPacket(spec, alloc.PlaintextFirstFlight(w))
+		buf = appender.AppendFirstWirePacket(buf[:0], spec, w)
+		if !bytes.Equal(want, buf) {
+			t.Fatalf("iteration %d (%v, %s): append form diverged\n alloc: %d bytes\nappend: %d bytes",
+				i, w, spec.Name, len(want), len(buf))
+		}
+	}
+}
+
+// TestAppendExtends verifies the append forms honor existing dst
+// contents and only append.
+func TestAppendExtends(t *testing.T) {
+	g := New(3)
+	prefix := []byte("prefix")
+	out := g.AppendPlaintextFirstFlight(append([]byte(nil), prefix...), CurlLoop)
+	if !bytes.HasPrefix(out, prefix) {
+		t.Fatal("AppendPlaintextFirstFlight clobbered dst prefix")
+	}
+	if len(out) <= len(prefix) {
+		t.Fatal("AppendPlaintextFirstFlight appended nothing")
+	}
+}

@@ -10,6 +10,7 @@ package trafficgen
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 	"strings"
 
 	"sslab/internal/socks"
@@ -45,6 +46,9 @@ var sites = []string{
 // Generator produces first flights deterministically from a seed.
 type Generator struct {
 	rng *rand.Rand
+	// scratch holds the intermediate plaintext of AppendFirstWirePacket
+	// so the population-scale hot path reuses one buffer per generator.
+	scratch []byte
 }
 
 // New returns a Generator.
@@ -76,26 +80,35 @@ func (g *Generator) Target(w Workload) string {
 // its first packet: the SOCKS-style target specification followed by the
 // first application bytes (an HTTP request or a TLS ClientHello).
 func (g *Generator) PlaintextFirstFlight(w Workload) []byte {
+	return g.AppendPlaintextFirstFlight(nil, w)
+}
+
+// AppendPlaintextFirstFlight appends the plaintext first flight to dst
+// and returns the extended slice. It draws exactly the random values
+// PlaintextFirstFlight draws, so the two forms are interchangeable
+// mid-stream; the append form exists for population-scale callers that
+// amortize one buffer over millions of flows.
+func (g *Generator) AppendPlaintextFirstFlight(dst []byte, w Workload) []byte {
 	target := g.Target(w)
 	addr, err := socks.ParseAddr(target)
 	if err != nil {
 		panic(err) // targets above are all well-formed
 	}
-	out := addr.Append(nil)
+	dst = addr.Append(dst)
 	if addr.Port == 80 {
-		out = append(out, g.httpGET(addr.Host)...)
-	} else {
-		out = append(out, g.clientHello(addr.Host)...)
+		return g.appendHTTPGET(dst, addr.Host)
 	}
-	return out
+	return g.appendClientHello(dst, addr.Host)
 }
 
-// httpGET builds a curl-like request.
-func (g *Generator) httpGET(host string) []byte {
-	paths := []string{"/", "/index.html", "/wiki/Main_Page", "/search?q=weather", "/static/app.js"}
-	return []byte(fmt.Sprintf(
+// getPaths are the request paths the curl-like workload cycles over.
+var getPaths = []string{"/", "/index.html", "/wiki/Main_Page", "/search?q=weather", "/static/app.js"}
+
+// appendHTTPGET appends a curl-like request.
+func (g *Generator) appendHTTPGET(dst []byte, host string) []byte {
+	return fmt.Appendf(dst,
 		"GET %s HTTP/1.1\r\nHost: %s\r\nUser-Agent: curl/7.%d.0\r\nAccept: */*\r\n\r\n",
-		paths[g.rng.Intn(len(paths))], host, 50+g.rng.Intn(20)))
+		getPaths[g.rng.Intn(len(getPaths))], host, 50+g.rng.Intn(20))
 }
 
 // clientHello builds a TLS-ClientHello-shaped first flight: a 5-byte
@@ -106,9 +119,11 @@ func (g *Generator) httpGET(host string) []byte {
 // extension framing, cipher-suite ids, zero padding, and the plaintext
 // SNI. The resulting per-byte entropy of ≈5–6 bits is what lets the GFW's
 // entropy feature keep direct TLS below fully encrypted protocols.
-func (g *Generator) clientHello(host string) []byte {
+func (g *Generator) appendClientHello(dst []byte, host string) []byte {
 	body := 220 + g.rng.Intn(360)
-	rec := make([]byte, 5+body)
+	start := len(dst)
+	dst = append(slices.Grow(dst, 5+body), zeros[:5+body]...)
+	rec := dst[start:]
 	rec[0] = 0x16 // handshake
 	rec[1], rec[2] = 0x03, 0x01
 	rec[3], rec[4] = byte(body>>8), byte(body)
@@ -116,17 +131,23 @@ func (g *Generator) clientHello(host string) []byte {
 	b := rec[5:]
 	nRand := len(b) / 3 // client random + session id + X25519 key share
 	g.rng.Read(b[:nRand])
-	// Structural bytes: type/length framing, GREASE, suites, padding.
-	structural := []byte{
-		0x00, 0x00, 0x00, 0x00, 0x01, 0x02, 0x03, 0x13, 0x13, 0xc0,
-		0x2f, 0x30, 0xff, 0x01, 0x0a, 0x16, 0x17, 0x18, 0x00, 0x1d,
-	}
 	for i := nRand; i < len(b); i++ {
-		b[i] = structural[g.rng.Intn(len(structural))]
+		b[i] = helloStructural[g.rng.Intn(len(helloStructural))]
 	}
 	copy(b[nRand+4:], host) // plaintext SNI
-	return rec
+	return dst
 }
+
+// helloStructural are the non-random ClientHello bytes: type/length
+// framing, GREASE, suites, padding.
+var helloStructural = []byte{
+	0x00, 0x00, 0x00, 0x00, 0x01, 0x02, 0x03, 0x13, 0x13, 0xc0,
+	0x2f, 0x30, 0xff, 0x01, 0x0a, 0x16, 0x17, 0x18, 0x00, 0x1d,
+}
+
+// zeros seeds fresh record bytes before they are overwritten; 5+579 is
+// the largest ClientHello appendClientHello produces.
+var zeros [5 + 579]byte
 
 // WireFirstPacket converts a plaintext first flight to the wire bytes a
 // Shadowsocks connection of the given cipher would produce. Because
@@ -148,5 +169,25 @@ func (g *Generator) WireFirstPacket(spec sscrypto.Spec, plaintext []byte) []byte
 
 // FirstWirePacket is a convenience combining the two steps.
 func (g *Generator) FirstWirePacket(spec sscrypto.Spec, w Workload) []byte {
-	return g.WireFirstPacket(spec, g.PlaintextFirstFlight(w))
+	return g.AppendFirstWirePacket(nil, spec, w)
+}
+
+// AppendFirstWirePacket appends a complete first wire packet to dst and
+// returns the extended slice. Random draws match FirstWirePacket
+// exactly (plaintext first, then one wire-length Read), so mixing the
+// two forms on one Generator keeps the stream aligned. The plaintext
+// intermediate lives in a per-Generator scratch buffer; in steady state
+// the call allocates nothing once dst's capacity suffices.
+func (g *Generator) AppendFirstWirePacket(dst []byte, spec sscrypto.Spec, w Workload) []byte {
+	g.scratch = g.AppendPlaintextFirstFlight(g.scratch[:0], w)
+	var n int
+	if spec.Kind == sscrypto.Stream {
+		n = spec.IVSize + len(g.scratch)
+	} else {
+		n = spec.SaltSize() + 2 + 16 + len(g.scratch) + 16
+	}
+	start := len(dst)
+	dst = slices.Grow(dst, n)[:start+n]
+	g.rng.Read(dst[start:])
+	return dst
 }
