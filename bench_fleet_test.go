@@ -60,7 +60,7 @@ func nopWheelFire(any) {}
 // the timed region measures steady state.
 func benchWheelSchedule(b *testing.B) {
 	sim := netsim.NewSim()
-	w := netsim.NewWheel(sim, time.Second)
+	w := netsim.NewWheel(sim)
 	round := func(n int) {
 		base := sim.Now()
 		for i := 0; i < n; i++ {

@@ -20,6 +20,7 @@ import (
 	"sslab/internal/probesim"
 	"sslab/internal/reaction"
 	"sslab/internal/replay"
+	"sslab/internal/seedfork"
 	"sslab/internal/sscrypto"
 	"sslab/internal/stats"
 )
@@ -562,7 +563,7 @@ func runBlockingCampaign(seed int64) int {
 		return netsim.Outcome{Reaction: reaction.RST}
 	}))
 
-	gen := entropy.NewGenerator(seed + 9)
+	gen := entropy.NewGenerator(seedfork.Fork(seed, "bench.blocking.traffic"))
 	sent := 0
 	var tick func()
 	tick = func() {

@@ -16,6 +16,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"time"
 
@@ -93,5 +94,6 @@ func profileNames() string {
 	for n := range profiles {
 		names = append(names, n)
 	}
+	sort.Strings(names)
 	return strings.Join(names, ", ")
 }

@@ -1,5 +1,6 @@
 // Command sslab-vet runs the repository's custom static-analysis suite:
-// determinism and crypto invariants that ordinary go vet cannot express.
+// determinism, crypto, allocation and API-convention invariants that
+// ordinary go vet cannot express.
 //
 //	go run ./cmd/sslab-vet ./...
 //
@@ -10,13 +11,21 @@
 //	simclock     no time.Now/Sleep/After in discrete-event packages
 //	cryptorand   no math/rand in the Shadowsocks crypto/protocol packages
 //	errpropagate no dropped errors on packet-path writes
+//	seedfork     no child seeds derived by arithmetic; use seedfork.Fork
+//	maporder     no order-dependent sinks inside range-over-map loops
+//	hotpath      no closures/fmt/boxing/growing appends in //sslab:hotpath funcs
+//	optorder     functional-options convention (apply-before-read, With* types)
 //
 // Findings can be waived line-by-line with //sslab:allow-<analyzer>
-// followed by a justification. Exit status: 0 clean, 1 findings, 2 tool
-// error.
+// followed by a justification; the name must match a registered
+// analyzer exactly, or the directive suppresses nothing and -stale
+// reports it. -json emits one finding per line (suppressed findings
+// included, marked). Exit status: 0 clean, 1 findings (or stale
+// directives under -stale), 2 tool error.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +36,10 @@ import (
 	"sslab/internal/analysis/cryptorand"
 	"sslab/internal/analysis/detrand"
 	"sslab/internal/analysis/errpropagate"
+	"sslab/internal/analysis/hotpath"
+	"sslab/internal/analysis/maporder"
+	"sslab/internal/analysis/optorder"
+	"sslab/internal/analysis/seedfork"
 	"sslab/internal/analysis/simclock"
 )
 
@@ -34,6 +47,10 @@ var all = []*analysis.Analyzer{
 	cryptorand.Analyzer,
 	detrand.Analyzer,
 	errpropagate.Analyzer,
+	hotpath.Analyzer,
+	maporder.Analyzer,
+	optorder.Analyzer,
+	seedfork.Analyzer,
 	simclock.Analyzer,
 }
 
@@ -41,9 +58,21 @@ func main() {
 	os.Exit(run())
 }
 
+// jsonFinding is the -json wire shape: one object per line.
+type jsonFinding struct {
+	Analyzer   string `json:"analyzer"`
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Column     int    `json:"column"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
 func run() int {
 	list := flag.Bool("list", false, "list analyzers and exit")
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	asJSON := flag.Bool("json", false, "emit one JSON finding per line (suppressed findings included, marked)")
+	stale := flag.Bool("stale", false, "also report //sslab:allow-* directives naming no registered analyzer; they count as findings")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: sslab-vet [flags] [packages]\n\n")
 		fmt.Fprintf(flag.CommandLine.Output(), "Packages default to ./... relative to the module root.\n\n")
@@ -74,6 +103,12 @@ func run() int {
 			selected = append(selected, a)
 		}
 	}
+	// Directive validation always uses the full registry: -only detrand
+	// must not misreport an allow-simclock directive as stale.
+	known := make([]string, len(all))
+	for i, a := range all {
+		known[i] = a.Name
+	}
 
 	root, err := moduleRoot()
 	if err != nil {
@@ -90,20 +125,62 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "sslab-vet: %v\n", err)
 		return 2
 	}
-	diags, err := analysis.Run(selected, pkgs)
+	res, err := analysis.RunDetailed(selected, known, pkgs)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sslab-vet: %v\n", err)
 		return 2
 	}
-	for _, d := range diags {
-		rel, err := filepath.Rel(root, d.Pos.Filename)
-		if err != nil || strings.HasPrefix(rel, "..") {
-			rel = d.Pos.Filename
+
+	rel := func(name string) string {
+		r, err := filepath.Rel(root, name)
+		if err != nil || strings.HasPrefix(r, "..") {
+			return name
 		}
-		fmt.Printf("%s:%d:%d: [%s] %s\n", rel, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		return r
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "sslab-vet: %d finding(s)\n", len(diags))
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		emit := func(d analysis.Diagnostic, suppressed bool) int {
+			if err := enc.Encode(jsonFinding{
+				Analyzer:   d.Analyzer,
+				File:       rel(d.Pos.Filename),
+				Line:       d.Pos.Line,
+				Column:     d.Pos.Column,
+				Message:    d.Message,
+				Suppressed: suppressed,
+			}); err != nil {
+				fmt.Fprintf(os.Stderr, "sslab-vet: %v\n", err)
+				return 2
+			}
+			return 0
+		}
+		for _, d := range res.Diags {
+			if rc := emit(d, false); rc != 0 {
+				return rc
+			}
+		}
+		for _, d := range res.Suppressed {
+			if rc := emit(d, true); rc != 0 {
+				return rc
+			}
+		}
+	} else {
+		for _, d := range res.Diags {
+			fmt.Printf("%s:%d:%d: [%s] %s\n", rel(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		}
+	}
+
+	bad := len(res.Diags)
+	if *stale {
+		for _, d := range res.Stale {
+			fmt.Printf("%s:%d:%d: stale directive //sslab:allow-%s names no registered analyzer\n",
+				rel(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer)
+		}
+		bad += len(res.Stale)
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "sslab-vet: %d finding(s)\n", bad)
 		return 1
 	}
 	return 0

@@ -7,9 +7,10 @@
 // crypto/rand, and packet-path write errors must not be dropped.
 //
 // An Analyzer inspects one type-checked package at a time and reports
-// Diagnostics. Analyzers are scoped to import-path prefixes so that, for
-// example, the simulated-clock rule applies to the discrete-event
-// simulator but not to the real-network Shadowsocks servers.
+// Diagnostics. Analyzers are scoped to exact import paths (with a
+// pkg/... form for subtrees) so that, for example, the simulated-clock
+// rule applies to the discrete-event simulator but not to the
+// real-network Shadowsocks servers.
 //
 // Findings can be suppressed line-by-line with a justification comment:
 //
@@ -37,9 +38,11 @@ type Analyzer struct {
 	// Doc is a one-paragraph description of what the analyzer enforces
 	// and why.
 	Doc string
-	// Scope lists the import-path prefixes the analyzer applies to when
-	// run over the repository. Empty means every package. Test harnesses
-	// bypass scoping and run the analyzer on whatever they load.
+	// Scope lists the import paths the analyzer applies to when run over
+	// the repository. An entry matches exactly; an entry ending in /...
+	// matches the package and its whole subtree ("sslab/cmd/..." covers
+	// every command). Empty means every package. Test harnesses bypass
+	// scoping and run the analyzer on whatever they load.
 	Scope []string
 	// IncludeTests selects whether _test.go files are analyzed.
 	IncludeTests bool
@@ -52,8 +55,14 @@ func (a *Analyzer) AppliesTo(pkgPath string) bool {
 	if len(a.Scope) == 0 {
 		return true
 	}
-	for _, prefix := range a.Scope {
-		if pkgPath == prefix || strings.HasPrefix(pkgPath, prefix+"/") {
+	for _, entry := range a.Scope {
+		if base, ok := strings.CutSuffix(entry, "/..."); ok {
+			if pkgPath == base || strings.HasPrefix(pkgPath, base+"/") {
+				return true
+			}
+			continue
+		}
+		if pkgPath == entry {
 			return true
 		}
 	}
@@ -127,24 +136,82 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 }
 
+// Result is the full outcome of a multichecker run: the surviving
+// diagnostics, the diagnostics waived by //sslab:allow-* directives
+// (the -json mode reports both, so CI can diff the complete finding
+// set across runs), and the stale directives that name no registered
+// analyzer and therefore suppress nothing.
+type Result struct {
+	Diags      []Diagnostic
+	Suppressed []Diagnostic
+	Stale      []Directive
+}
+
 // Run applies every analyzer (subject to its scope) to every package and
 // returns the surviving diagnostics, sorted by position. Suppressed
 // findings are dropped here so every front end (CLI, tests) shares the
 // same //sslab:allow-* semantics.
 func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
-	var out []Diagnostic
+	res, err := RunDetailed(analyzers, nil, pkgs)
+	if err != nil {
+		return nil, err
+	}
+	return res.Diags, nil
+}
+
+// RunDetailed is Run plus the waived findings and stale directives.
+// known lists every registered analyzer name for directive validation;
+// nil derives it from analyzers. Pass the full registry when running a
+// subset (-only), so a directive for an analyzer that merely isn't
+// selected is not misreported as stale.
+func RunDetailed(analyzers []*Analyzer, known []string, pkgs []*Package) (*Result, error) {
+	knownSet := map[string]bool{}
+	if known == nil {
+		for _, a := range analyzers {
+			knownSet[a.Name] = true
+		}
+	} else {
+		for _, name := range known {
+			knownSet[name] = true
+		}
+	}
+	res := &Result{}
 	for _, pkg := range pkgs {
+		// Scan directives once per package over every file (including
+		// test files): staleness is a property of the directive, not of
+		// whichever analyzers happen to be selected or scoped here.
+		allFiles := append(append([]*ast.File(nil), pkg.Files...), pkg.TestFiles...)
+		sup, dirs := scanDirectives(pkg.Fset, allFiles, knownSet)
+		for _, d := range dirs {
+			if !d.Known {
+				res.Stale = append(res.Stale, d)
+			}
+		}
 		for _, a := range analyzers {
 			if !a.AppliesTo(pkg.Path) {
 				continue
 			}
-			diags, err := runOne(a, pkg)
+			kept, waived, err := runOne(a, pkg, sup)
 			if err != nil {
 				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
 			}
-			out = append(out, diags...)
+			res.Diags = append(res.Diags, kept...)
+			res.Suppressed = append(res.Suppressed, waived...)
 		}
 	}
+	sortDiags(res.Diags)
+	sortDiags(res.Suppressed)
+	sort.Slice(res.Stale, func(i, j int) bool {
+		a, b := res.Stale[i], res.Stale[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+	return res, nil
+}
+
+func sortDiags(out []Diagnostic) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -158,7 +225,6 @@ func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return out, nil
 }
 
 // RunPackage applies one analyzer to an already-loaded package,
@@ -166,12 +232,16 @@ func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
 // entry point the analysistest harness uses, so fixtures exercise the
 // exact suppression semantics the CLI applies.
 func RunPackage(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
-	return runOne(a, pkg)
+	files := append(append([]*ast.File(nil), pkg.Files...), pkg.TestFiles...)
+	sup, _ := scanDirectives(pkg.Fset, files, map[string]bool{a.Name: true})
+	kept, _, err := runOne(a, pkg, sup)
+	return kept, err
 }
 
-// runOne applies a single analyzer to a single package and filters
-// suppressed diagnostics.
-func runOne(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+// runOne applies a single analyzer to a single package and splits its
+// diagnostics into kept and suppressed against the package's directive
+// set.
+func runOne(a *Analyzer, pkg *Package, sup suppressionSet) (kept, suppressed []Diagnostic, err error) {
 	files := pkg.Files
 	if a.IncludeTests {
 		files = append(append([]*ast.File(nil), pkg.Files...), pkg.TestFiles...)
@@ -184,14 +254,14 @@ func runOne(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
 		Info:     pkg.Info,
 	}
 	if err := a.Run(pass); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	sup := suppressions(pkg.Fset, files)
-	kept := pass.diags[:0]
 	for _, d := range pass.diags {
-		if !sup.allows(a.Name, d.Pos) {
+		if sup.allows(a.Name, d.Pos) {
+			suppressed = append(suppressed, d)
+		} else {
 			kept = append(kept, d)
 		}
 	}
-	return kept, nil
+	return kept, suppressed, nil
 }

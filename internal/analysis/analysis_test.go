@@ -117,12 +117,23 @@ func TestScope(t *testing.T) {
 	a := &Analyzer{Name: "x", Scope: []string{"mod/internal/gfw"}}
 	for path, want := range map[string]bool{
 		"mod/internal/gfw":        true,
-		"mod/internal/gfw/sub":    true,
+		"mod/internal/gfw/sub":    false, // exact entries do not match subtrees
 		"mod/internal/gfwother":   false,
 		"mod/internal/experiment": false,
 	} {
 		if got := a.AppliesTo(path); got != want {
 			t.Errorf("AppliesTo(%q) = %v, want %v", path, got, want)
+		}
+	}
+	tree := &Analyzer{Name: "x", Scope: []string{"mod/cmd/..."}}
+	for path, want := range map[string]bool{
+		"mod/cmd":          true,
+		"mod/cmd/tool":     true,
+		"mod/cmdother":     false,
+		"mod/internal/gfw": false,
+	} {
+		if got := tree.AppliesTo(path); got != want {
+			t.Errorf("subtree AppliesTo(%q) = %v, want %v", path, got, want)
 		}
 	}
 	unscoped := &Analyzer{Name: "y"}

@@ -28,6 +28,7 @@ var Analyzer = &analysis.Analyzer{
 		// simclock's scope — its tests drive real sockets, where
 		// wall-clock deadlines are legitimate.
 		"sslab",
+		"sslab/cmd/...",
 		"sslab/internal/bloom",
 		"sslab/internal/campaign",
 		"sslab/internal/capture",

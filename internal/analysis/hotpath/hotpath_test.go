@@ -1,0 +1,12 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"sslab/internal/analysis/analysistest"
+	"sslab/internal/analysis/hotpath"
+)
+
+func TestHotpath(t *testing.T) {
+	analysistest.Run(t, "testdata", hotpath.Analyzer)
+}

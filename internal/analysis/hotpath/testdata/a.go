@@ -1,0 +1,83 @@
+// Fixtures for the hotpath analyzer: only functions annotated
+// //sslab:hotpath are checked; inside them closures, fmt, map
+// iteration, non-scratch appends and interface boxing are violations.
+package fixtures
+
+import "fmt"
+
+type conn struct {
+	wBuf    []byte
+	scratch []int
+	events  []int
+}
+
+func sink(v any)        { _ = v }
+func take(n int, v any) { _, _ = n, v }
+
+// hotClosure schedules work with a capturing closure.
+//
+//sslab:hotpath
+func hotClosure(c *conn, after func(func())) {
+	after(func() { c.events = nil }) // want `closure in hot path hotClosure`
+}
+
+// hotFmt formats per event.
+//
+//sslab:hotpath
+func hotFmt(n int) {
+	fmt.Println("event", n) // want `fmt\.Println in hot path hotFmt`
+}
+
+// hotMap walks a map per event.
+//
+//sslab:hotpath
+func hotMap(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `map iteration in hot path hotMap`
+		total += v
+	}
+	return total
+}
+
+// hotAppend grows a non-scratch slice per event.
+//
+//sslab:hotpath
+func hotAppend(c *conn, e int) {
+	c.events = append(c.events, e) // want `append to c\.events in hot path hotAppend`
+}
+
+// hotBox passes a value into an interface parameter.
+//
+//sslab:hotpath
+func hotBox(n int) {
+	sink(n) // want `passing n by value into an interface parameter in hot path hotBox`
+}
+
+// hotClean uses every allowed idiom: scratch appends (by name and by
+// derivation), pointer args into interfaces, and plain arithmetic.
+//
+//sslab:hotpath
+func hotClean(c *conn, n int) int {
+	c.scratch = append(c.scratch, n)
+	out := c.wBuf[:0]
+	out = append(out, byte(n))
+	sink(&n)
+	sink(nil)
+	sink("constant") // constants convert via static data: no allocation
+	take(n, &c.events)
+	return len(out) + n*2
+}
+
+// hotAllowed suppresses a deliberate slow-path fallback.
+//
+//sslab:hotpath
+func hotAllowed(c *conn, e int) {
+	c.events = append(c.events, e) //sslab:allow-hotpath cold branch: only taken on capture overflow
+}
+
+// coldPath is unannotated: nothing here is checked.
+func coldPath(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}

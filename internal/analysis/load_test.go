@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"go/ast"
+	"testing"
+)
+
+// scopedCounter clones callCounter under a new name and scope.
+func scopedCounter(name string, scope ...string) *Analyzer {
+	return &Analyzer{
+		Name:         name,
+		Doc:          "scoped call counter (test analyzer)",
+		Scope:        scope,
+		IncludeTests: true,
+		Run: func(pass *Pass) error {
+			for _, f := range pass.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					if call, ok := n.(*ast.CallExpr); ok {
+						pass.Reportf(call.Pos(), "call expression")
+					}
+					return true
+				})
+			}
+			return nil
+		},
+	}
+}
+
+// TestScopeResolutionOverLoadedPackages drives scoping end to end over a
+// loaded module: one package inside two analyzers' scopes collects both
+// diagnostics, a package outside every scope collects none.
+func TestScopeResolutionOverLoadedPackages(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module example.test/m\n\ngo 1.22\n",
+		"covered/covered.go": `package covered
+
+func f() int { return 0 }
+
+var _ = f() // in scope of both analyzers
+`,
+		"outside/outside.go": `package outside
+
+func f() int { return 0 }
+
+var _ = f() // in scope of neither analyzer
+`,
+	})
+
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	exact := scopedCounter("exactcheck", "example.test/m/covered")
+	subtree := scopedCounter("treecheck", "example.test/m/...")
+	diags, err := Run([]*Analyzer{exact, subtree}, pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	byAnalyzer := map[string]int{}
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer]++
+	}
+	// covered/ gets one finding from each analyzer; outside/ gets one
+	// only from the subtree analyzer.
+	if byAnalyzer["exactcheck"] != 1 {
+		t.Errorf("exactcheck reported %d findings, want 1 (covered only)", byAnalyzer["exactcheck"])
+	}
+	if byAnalyzer["treecheck"] != 2 {
+		t.Errorf("treecheck reported %d findings, want 2 (covered and outside)", byAnalyzer["treecheck"])
+	}
+
+	none := scopedCounter("nonecheck", "example.test/m/absent")
+	diags, err = Run([]*Analyzer{none}, pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("analyzer scoped to an absent package reported %d findings, want 0", len(diags))
+	}
+}
+
+// TestRunPackageBypassesScopeHonorsSuppression pins the analysistest
+// entry point's contract: scope is ignored (fixtures load under
+// arbitrary paths) but //sslab:allow-* suppression still applies with
+// the same exact-name semantics as the CLI.
+func TestRunPackageBypassesScopeHonorsSuppression(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module example.test/m\n\ngo 1.22\n",
+		"p/p.go": `package p
+
+func f() int { return 0 }
+
+func g() int {
+	return f() // kept
+}
+
+func h() int {
+	return f() //sslab:allow-outcheck waived for the test
+}
+
+func i() int {
+	return f() //sslab:allow-outcheckz near-miss name must not waive
+}
+`,
+	})
+
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+
+	// The scope names a package that does not exist; RunPackage must run
+	// anyway.
+	a := scopedCounter("outcheck", "example.test/m/not-here")
+	diags, err := RunPackage(a, pkgs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 {
+		for _, d := range diags {
+			t.Logf("got: %s", d)
+		}
+		t.Fatalf("RunPackage kept %d diagnostics, want 2 (g kept, h waived, i's near-miss kept)", len(diags))
+	}
+}

@@ -1,0 +1,104 @@
+// Fixtures for the maporder analyzer: order-dependent consumption of
+// map iteration is a violation; the collect-sort-iterate idiom and
+// commutative aggregation are clean.
+package fixtures
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func appendUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append to out inside a map range`
+	}
+	return out
+}
+
+func appendField(m map[string]int) {
+	var rep struct{ Names []string }
+	for k := range m {
+		rep.Names = append(rep.Names, k) // want `append to rep\.Names inside a map range`
+	}
+	_ = rep
+}
+
+func printing(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want `fmt\.Printf inside a map range`
+	}
+}
+
+func encoding(m map[string]int) {
+	for k := range m {
+		b, _ := json.Marshal(k) // want `json\.Marshal inside a map range`
+		_ = b
+	}
+}
+
+func writerSink(m map[string]int, sb *strings.Builder) {
+	for k := range m {
+		sb.WriteString(k) // want `WriteString call inside a map range`
+	}
+}
+
+func collectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // ok: sorted below
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortSlice(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // ok: sort.Slice below
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func commutative(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v // ok: commutative aggregation
+	}
+	return total
+}
+
+func setBuild(m map[string]int) map[string]bool {
+	seen := map[string]bool{}
+	for k := range m {
+		seen[k] = true // ok: writing into a map is order-independent
+	}
+	return seen
+}
+
+func innerSlice(m map[string][]int) {
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...) // ok: declared inside the loop body
+		_ = local
+	}
+}
+
+func rangeOverSlice(xs []string) []string {
+	var out []string
+	for _, x := range xs { // ok: slices iterate in order
+		out = append(out, x)
+	}
+	return out
+}
+
+func allowedAppend(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) //sslab:allow-maporder order scrambled downstream by a seeded shuffle
+	}
+	return out
+}

@@ -1,0 +1,12 @@
+package optorder_test
+
+import (
+	"testing"
+
+	"sslab/internal/analysis/analysistest"
+	"sslab/internal/analysis/optorder"
+)
+
+func TestOptorder(t *testing.T) {
+	analysistest.Run(t, "testdata", optorder.Analyzer)
+}

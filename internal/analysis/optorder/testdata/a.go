@@ -1,0 +1,74 @@
+// Fixtures for the optorder analyzer: the functional-options
+// convention. Rule A: apply options before reading config. Rule B:
+// exported With* helpers return the package Option type. Rule C: no
+// zero-defaulted positional knobs on constructors.
+package fixtures
+
+import "time"
+
+type Config struct {
+	Seed int64
+	Tick time.Duration
+}
+
+type Option func(*Config)
+
+func WithSeed(seed int64) Option {
+	return func(c *Config) { c.Seed = seed }
+}
+
+// WithRawTick returns a bare func type instead of Option.
+func WithRawTick(d time.Duration) func(*Config) { // want `exported option helper WithRawTick must return the package's Option type, not a bare func type`
+	return func(c *Config) { c.Tick = d }
+}
+
+type Engine struct {
+	cfg  Config
+	fast bool
+}
+
+// NewEngine reads cfg.Tick before the apply loop: WithTick is ignored
+// by the fast-mode decision.
+func NewEngine(opts ...Option) *Engine {
+	var cfg Config
+	fast := cfg.Tick < time.Millisecond // want `constructor NewEngine reads cfg\.Tick before applying its options`
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &Engine{cfg: cfg, fast: fast}
+}
+
+// NewEngineOK applies options first, then decides.
+func NewEngineOK(opts ...Option) *Engine {
+	var cfg Config
+	cfg.Seed = 1 // writes before the loop set defaults: fine
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &Engine{cfg: cfg, fast: cfg.Tick < time.Millisecond}
+}
+
+// NewClock zero-defaults its positional tick parameter.
+func NewClock(tick time.Duration) *Engine {
+	if tick <= 0 { // want `constructor NewClock zero-defaults positional parameter "tick"`
+		tick = time.Second
+	}
+	return &Engine{cfg: Config{Tick: tick}}
+}
+
+// NewClockOK validates rather than defaults: rejecting bad input is not
+// a disguised option.
+func NewClockOK(tick time.Duration) (*Engine, bool) {
+	if tick <= 0 {
+		return nil, false
+	}
+	return &Engine{cfg: Config{Tick: tick}}, true
+}
+
+// NewLegacy keeps a historical defaulted knob under an explicit waiver.
+func NewLegacy(tick time.Duration) *Engine {
+	if tick <= 0 { //sslab:allow-optorder frozen pre-options signature kept for replay compatibility
+		tick = time.Second
+	}
+	return &Engine{cfg: Config{Tick: tick}}
+}

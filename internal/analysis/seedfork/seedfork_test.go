@@ -1,0 +1,12 @@
+package seedfork_test
+
+import (
+	"testing"
+
+	"sslab/internal/analysis/analysistest"
+	"sslab/internal/analysis/seedfork"
+)
+
+func TestSeedfork(t *testing.T) {
+	analysistest.Run(t, "testdata", seedfork.Analyzer)
+}

@@ -12,17 +12,39 @@ import (
 // directives) and should be followed by a short justification:
 //
 //	//sslab:allow-simclock real sleep: this package drives a live socket
+//
+// The captured name is then validated against the exact set of
+// registered analyzer names: a directive that does not name a known
+// analyzer suppresses nothing (so a typo like //sslab:allow-detrnd or a
+// pile-up like //sslab:allow-detrand-simclock cannot accidentally waive
+// a different analyzer's finding) and is surfaced as a stale directive
+// for `sslab-vet -stale` to report.
 var allowRe = regexp.MustCompile(`^//sslab:allow-([a-z0-9-]+)(?:\s|$)`)
+
+// Directive is one //sslab:allow-* comment found in a package's files.
+type Directive struct {
+	// Pos is the directive comment's position.
+	Pos token.Position
+	// Analyzer is the name as written after "allow-".
+	Analyzer string
+	// Known records whether Analyzer names a registered analyzer. Unknown
+	// directives never suppress anything.
+	Known bool
+}
 
 // suppressionSet records, per analyzer name, the file:line positions at
 // which findings are waived. A directive on line N waives findings from
 // the named analyzer on line N (trailing comment) and on line N+1
-// (directive on its own line above the offending statement).
+// (directive on its own line above the offending statement). Only
+// directives naming a known analyzer enter the set.
 type suppressionSet map[string]map[string]map[int]bool // analyzer -> filename -> line
 
-// suppressions scans the comments of files for //sslab:allow-* directives.
-func suppressions(fset *token.FileSet, files []*ast.File) suppressionSet {
+// scanDirectives collects every //sslab:allow-* directive in files,
+// marking each as known or stale against the known analyzer names, and
+// builds the suppression set from the known ones.
+func scanDirectives(fset *token.FileSet, files []*ast.File, known map[string]bool) (suppressionSet, []Directive) {
 	set := suppressionSet{}
+	var dirs []Directive
 	add := func(analyzer, filename string, line int) {
 		byFile, ok := set[analyzer]
 		if !ok {
@@ -47,12 +69,17 @@ func suppressions(fset *token.FileSet, files []*ast.File) suppressionSet {
 						continue
 					}
 					pos := fset.Position(c.Pos())
-					add(m[1], pos.Filename, pos.Line+i)
+					pos.Line += i
+					d := Directive{Pos: pos, Analyzer: m[1], Known: known[m[1]]}
+					dirs = append(dirs, d)
+					if d.Known {
+						add(m[1], pos.Filename, pos.Line)
+					}
 				}
 			}
 		}
 	}
-	return set
+	return set, dirs
 }
 
 // allows reports whether a diagnostic from the named analyzer at pos is

@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSuppressionExactName pins the v2 tightening: a directive only
+// suppresses the analyzer it names exactly. A pile-up or typo name
+// ("callcount-other", "callcounts") suppresses nothing and surfaces as
+// a stale directive instead.
+func TestSuppressionExactName(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module example.test/m\n\ngo 1.22\n",
+		"a/a.go": `package a
+
+func f() int { return 0 }
+
+func g() int {
+	return f() //sslab:allow-callcount-other pile-up must not waive callcount
+}
+
+func h() int {
+	return f() //sslab:allow-callcounts typo must not waive callcount
+}
+
+func i() int {
+	return f() //sslab:allow-callcount exact name does waive
+}
+`,
+	})
+
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunDetailed([]*Analyzer{callCounter}, nil, pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// g and h keep their findings; only i is waived.
+	if len(res.Diags) != 2 {
+		for _, d := range res.Diags {
+			t.Logf("kept: %s", d)
+		}
+		t.Fatalf("kept %d diagnostics, want 2 (mis-named directives must not suppress)", len(res.Diags))
+	}
+	if len(res.Suppressed) != 1 {
+		t.Fatalf("suppressed %d diagnostics, want 1", len(res.Suppressed))
+	}
+
+	// Both mis-named directives are stale, in position order.
+	if len(res.Stale) != 2 {
+		for _, d := range res.Stale {
+			t.Logf("stale: %s at %s:%d", d.Analyzer, d.Pos.Filename, d.Pos.Line)
+		}
+		t.Fatalf("got %d stale directives, want 2", len(res.Stale))
+	}
+	if res.Stale[0].Analyzer != "callcount-other" || res.Stale[1].Analyzer != "callcounts" {
+		t.Errorf("stale names = %q, %q; want callcount-other, callcounts",
+			res.Stale[0].Analyzer, res.Stale[1].Analyzer)
+	}
+	for _, d := range res.Stale {
+		if d.Known {
+			t.Errorf("stale directive %q marked known", d.Analyzer)
+		}
+	}
+}
+
+// TestStaleAgainstFullRegistry verifies directive validation uses the
+// full registered set, not the selected subset: running only one
+// analyzer must not misreport a directive naming another registered
+// analyzer as stale.
+func TestStaleAgainstFullRegistry(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module example.test/m\n\ngo 1.22\n",
+		"a/a.go": `package a
+
+func f() int { return 0 }
+
+func g() int {
+	return f() //sslab:allow-othercheck registered elsewhere, not selected here
+}
+`,
+	})
+
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// known includes "othercheck" even though only callcount runs.
+	res, err := RunDetailed([]*Analyzer{callCounter}, []string{"callcount", "othercheck"}, pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stale) != 0 {
+		t.Fatalf("got %d stale directives, want 0: a registered-but-unselected name is not stale", len(res.Stale))
+	}
+	// The directive names a different analyzer, so callcount's finding
+	// survives.
+	if len(res.Diags) != 1 {
+		t.Fatalf("kept %d diagnostics, want 1", len(res.Diags))
+	}
+
+	// Without the registry hint the same directive is stale.
+	res, err = RunDetailed([]*Analyzer{callCounter}, nil, pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stale) != 1 || res.Stale[0].Analyzer != "othercheck" {
+		t.Fatalf("stale = %+v, want exactly othercheck", res.Stale)
+	}
+	if !strings.HasSuffix(res.Stale[0].Pos.Filename, "a.go") {
+		t.Errorf("stale position %q, want a.go", res.Stale[0].Pos.Filename)
+	}
+}

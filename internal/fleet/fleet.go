@@ -284,6 +284,8 @@ func runUserWake(x any) {
 // wake is the per-user hot path: chain the next wake-up, thin by the
 // diurnal curve, then (if active) emit one flow and account its
 // outcome. Steady state allocates only the netsim Flow.
+//
+//sslab:hotpath
 func (f *Fleet) wake(a *userArg) {
 	u := &f.users[a.idx]
 	now := f.sim.Now()
@@ -421,7 +423,7 @@ func Run(cfg Config) (*Report, error) {
 		sim:          sim,
 		net:          net,
 		gfw:          g,
-		wheel:        netsim.NewWheel(sim, time.Second),
+		wheel:        netsim.NewWheel(sim),
 		tg:           trafficgen.New(seedfork.Fork(cfg.Seed, "fleet.trafficgen")),
 		end:          netsim.Epoch.Add(time.Duration(cfg.Hours) * time.Hour),
 		meanGap:      time.Duration(float64(time.Hour) / cfg.PeakFlowsPerHour),

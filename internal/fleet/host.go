@@ -40,6 +40,8 @@ func newServerHost(f *Fleet, srv *reaction.Server, usersPerServer, hours int, pe
 // hashPayload reduces a first payload to the 8-byte key the Bloom
 // filter stores — inline FNV-1a, so the per-flow path stays
 // allocation-free (hash.Hash64 construction would allocate).
+//
+//sslab:hotpath
 func (h *serverHost) hashPayload(p []byte) []byte {
 	const offset64, prime64 = 14695981039346656037, 1099511628211
 	sum := uint64(offset64)
@@ -52,6 +54,8 @@ func (h *serverHost) hashPayload(p []byte) []byte {
 }
 
 // HandleFlow implements netsim.Host.
+//
+//sslab:hotpath
 func (h *serverHost) HandleFlow(fl *netsim.Flow) netsim.Outcome {
 	now := h.f.sim.Now()
 	if !fl.Probe {

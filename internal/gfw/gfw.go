@@ -141,6 +141,7 @@ type GFW struct {
 	// the probe-retry path.
 	taskFree  []*probeTask
 	retryFree []*retryTask
+	dupFree   []*dupTask
 
 	// Pre-resolved instruments on the sim's registry (hot path: no map
 	// lookups per flow).
@@ -254,11 +255,12 @@ func New(env Env, opts ...Option) *GFW {
 	sim, net := env.Sim, env.Net
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	return &GFW{
-		cfg:            cfg,
-		sim:            sim,
-		net:            net,
-		rng:            rng,
-		det:            detector{base: cfg.ReplayBase, ignoreLength: cfg.DisableLengthFeature, ignoreEntropy: cfg.DisableEntropyFeature},
+		cfg: cfg,
+		sim: sim,
+		net: net,
+		rng: rng,
+		det: detector{base: cfg.ReplayBase, ignoreLength: cfg.DisableLengthFeature, ignoreEntropy: cfg.DisableEntropyFeature},
+		//sslab:allow-seedfork historical +1 offset is baked into the zero-impairment goldens and EXPERIMENTS.md; changing the pool stream would invalidate every pinned report
 		Pool:           NewPool(rand.New(rand.NewSource(cfg.Seed+1)), cfg.PoolSize, sim.Now()),
 		Log:            capture.NewLog(sim.Now()),
 		servers:        map[netsim.Endpoint]*serverState{},
@@ -328,6 +330,8 @@ func (g *GFW) RecordedPayloads(server netsim.Endpoint) [][]byte {
 }
 
 // OnFlow implements netsim.Middlebox: passive analysis of a crossing flow.
+//
+//sslab:hotpath
 func (g *GFW) OnFlow(f *netsim.Flow) {
 	if f.Probe {
 		return // the censor does not re-analyze its own probes
@@ -365,7 +369,7 @@ func (g *GFW) OnFlow(f *netsim.Flow) {
 		payload: g.slabCopy(f.FirstPayload),
 		at:      g.sim.Now(),
 	}
-	s.recordedPays = append(s.recordedPays, rec.payload)
+	s.recordedPays = append(s.recordedPays, rec.payload) //sslab:allow-hotpath cold branch: a few recordings per thousand flows, and the ground-truth list must grow
 
 	n := sampleRepeatCount(g.rng)
 	for i := 0; i < n; i++ {
@@ -483,6 +487,8 @@ func (g *GFW) chooseType(stage int, ssLike bool) probe.Type {
 }
 
 // sendProbe emits one probe derived from rec toward server.
+//
+//sslab:hotpath
 func (g *GFW) sendProbe(server netsim.Endpoint, rec *recording) {
 	s := g.state(server)
 	typ := g.chooseType(s.stage, s.ssLike(g.cfg.NR1MinFlows))
@@ -496,12 +502,38 @@ func (g *GFW) sendProbe(server netsim.Endpoint, rec *recording) {
 	// §5.3: around 10% of NR2 probes are sent to the same server more
 	// than once — a replay-filter detection trick.
 	if typ == probe.NR2 && g.rng.Float64() < 0.10 {
-		dup := append([]byte(nil), payload...)
-		g.sim.After(sampleDelay(g.rng), func() {
-			st := g.state(server)
-			g.emit(server, st, probe.NR2, dup, time.Time{})
-		})
+		dup := append([]byte(nil), payload...) //sslab:allow-hotpath rare branch (~10% of NR2 probes); the copy must outlive the scheduled duplicate
+		g.sim.AfterCall(sampleDelay(g.rng), runDupTask, g.newDupTask(server, dup))
 	}
+}
+
+// dupTask carries one delayed NR2 duplicate through the closure-free
+// netsim.AfterCall path; tasks recycle via GFW.dupFree.
+type dupTask struct {
+	g       *GFW
+	server  netsim.Endpoint
+	payload []byte
+}
+
+// runDupTask is the netsim.AfterCall trampoline for NR2 duplicates. It
+// re-resolves the server state at fire time, exactly as the closure it
+// replaced did.
+func runDupTask(x any) {
+	t := x.(*dupTask)
+	g, server, payload := t.g, t.server, t.payload
+	t.g, t.payload = nil, nil
+	g.dupFree = append(g.dupFree, t)
+	g.emit(server, g.state(server), probe.NR2, payload, time.Time{})
+}
+
+func (g *GFW) newDupTask(server netsim.Endpoint, payload []byte) *dupTask {
+	if n := len(g.dupFree); n > 0 {
+		t := g.dupFree[n-1]
+		g.dupFree = g.dupFree[:n-1]
+		t.g, t.server, t.payload = g, server, payload
+		return t
+	}
+	return &dupTask{g: g, server: server, payload: payload}
 }
 
 // retryTask carries one scheduled probe retransmission through the

@@ -10,6 +10,7 @@ import (
 	"sslab/internal/netsim"
 	"sslab/internal/probe"
 	"sslab/internal/reaction"
+	"sslab/internal/seedfork"
 	"sslab/internal/stats"
 )
 
@@ -229,7 +230,7 @@ func runCampaign(t *testing.T, host netsim.Host, count int, cfg Config) (*GFW, *
 	client := netsim.Endpoint{IP: "101.32.0.2", Port: 55000}
 	net.AddHost(server, host)
 
-	gen := entropy.NewGenerator(cfg.Seed + 99)
+	gen := entropy.NewGenerator(seedfork.Fork(cfg.Seed, "gfwtest.traffic"))
 	sent := 0
 	var tick func()
 	tick = func() {

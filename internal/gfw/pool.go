@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 	"time"
 
 	"sslab/internal/netsim"
@@ -99,14 +100,16 @@ func NewPool(rng *rand.Rand, size int, start time.Time) *Pool {
 		}
 		asns = append(asns, asn{id, n})
 	}
-	// Deterministic order for reproducibility.
-	for i := 0; i < len(asns); i++ {
-		for j := i + 1; j < len(asns); j++ {
-			if asns[j].want > asns[i].want || (asns[j].want == asns[i].want && asns[j].id < asns[i].id) {
-				asns[i], asns[j] = asns[j], asns[i]
-			}
+	// Deterministic order for reproducibility: want descending, id
+	// ascending. The comparison is total (ids are unique), so the final
+	// order — and every RNG draw below — is byte-identical to the
+	// historical hand-rolled sort.
+	sort.Slice(asns, func(i, j int) bool {
+		if asns[i].want != asns[j].want {
+			return asns[i].want > asns[j].want
 		}
-	}
+		return asns[i].id < asns[j].id
+	})
 
 	seen := map[string]bool{}
 	for _, a := range asns {

@@ -133,19 +133,23 @@ func (s *Sim) AfterCall(d time.Duration, call func(any), arg any) {
 }
 
 // push inserts e into the heap with the next sequence number.
+//
+//sslab:hotpath
 func (s *Sim) push(e event) {
 	if e.at.Before(s.now) {
 		e.at = s.now
 	}
 	s.seq++
 	e.seq = s.seq
-	s.pq = append(s.pq, e)
+	s.pq = append(s.pq, e) //sslab:allow-hotpath amortized heap growth; the backing array is retained across pops and stops growing at steady state
 	s.siftUp(len(s.pq) - 1)
 	s.scheduled.Inc()
 	s.heapPeak.Max(int64(len(s.pq)))
 }
 
 // pop removes and returns the earliest event. len(s.pq) must be > 0.
+//
+//sslab:hotpath
 func (s *Sim) pop() event {
 	top := s.pq[0]
 	n := len(s.pq) - 1
@@ -188,6 +192,8 @@ func (s *Sim) siftDown(i int) {
 }
 
 // dispatch advances the clock to e.at and runs its callback.
+//
+//sslab:hotpath
 func (s *Sim) dispatch(e *event) {
 	s.now = e.at
 	s.dispatched.Inc()

@@ -81,14 +81,33 @@ type Wheel struct {
 	mAnchors   *metrics.Counter
 }
 
-// NewWheel attaches a timing wheel to sim. tick is the level-0 slot
-// width; entries closer than one tick go straight to the Sim heap.
-// tick <= 0 selects the 1-second default.
-func NewWheel(sim *Sim, tick time.Duration) *Wheel {
-	if tick <= 0 {
-		tick = time.Second
+// WheelOption configures a timing wheel at construction (see NewWheel).
+type WheelOption func(*wheelConfig)
+
+// wheelConfig holds the constructor knobs WheelOptions mutate.
+type wheelConfig struct {
+	tick time.Duration
+}
+
+// WithTick sets the level-0 slot width; entries closer than one tick go
+// straight to the Sim heap. Non-positive values fall back to the
+// 1-second default.
+func WithTick(d time.Duration) WheelOption {
+	return func(c *wheelConfig) { c.tick = d }
+}
+
+// NewWheel attaches a timing wheel to sim. With no options the level-0
+// slot width is one second, matching the historical
+// NewWheel(sim, time.Second) signature.
+func NewWheel(sim *Sim, opts ...WheelOption) *Wheel {
+	cfg := wheelConfig{tick: time.Second}
+	for _, o := range opts {
+		o(&cfg)
 	}
-	w := &Wheel{sim: sim, tick: tick, armed: math.MaxInt64}
+	if cfg.tick <= 0 {
+		cfg.tick = time.Second
+	}
+	w := &Wheel{sim: sim, tick: cfg.tick, armed: math.MaxInt64}
 	w.mScheduled = sim.Metrics.Counter("wheel.scheduled")
 	w.mDirect = sim.Metrics.Counter("wheel.direct")
 	w.mCascaded = sim.Metrics.Counter("wheel.cascaded")
@@ -109,6 +128,8 @@ func (w *Wheel) tickTime(k int64) time.Time { return Epoch.Add(time.Duration(k) 
 // Schedule parks call(arg) for dispatch at absolute time at (clamped to
 // now if in the past). It is the wheel counterpart of Sim.AtCall and
 // shares its closure-free contract: arg should be a long-lived pointer.
+//
+//sslab:hotpath
 func (w *Wheel) Schedule(at time.Time, call func(any), arg any) {
 	w.mScheduled.Inc()
 	w.seq++
@@ -123,6 +144,8 @@ func (w *Wheel) After(d time.Duration, call func(any), arg any) {
 // place files e into the level whose span covers its remaining delay.
 // Entries due within one tick (or in the past, or beyond the top
 // level's span) bypass the wheel entirely.
+//
+//sslab:hotpath
 func (w *Wheel) place(e wentry) {
 	T := w.absTick(e.at)
 	cur := w.absTick(w.sim.Now())
@@ -137,7 +160,7 @@ func (w *Wheel) place(e wentry) {
 		level++
 	}
 	slot := int(T>>(wheelBits*level)) & (wheelSlots - 1)
-	w.slots[level][slot] = append(w.slots[level][slot], e)
+	w.slots[level][slot] = append(w.slots[level][slot], e) //sslab:allow-hotpath slot backing arrays are retained by pour (list[:0]) and stop growing at steady state
 	w.occ[level][slot>>6] |= 1 << (slot & 63)
 	w.count++
 	w.arm(w.dueOf(level, T))
@@ -156,6 +179,8 @@ func (w *Wheel) dueOf(level int, T int64) int64 {
 
 // arm schedules an anchor wake-up at tick d unless an earlier (or
 // equal) anchor is already outstanding.
+//
+//sslab:hotpath
 func (w *Wheel) arm(d int64) {
 	if d >= w.armed {
 		return
@@ -174,6 +199,8 @@ func (w *Wheel) arm(d int64) {
 }
 
 // runWheelAnchor is the netsim.AtCall trampoline for anchor wake-ups.
+//
+//sslab:hotpath
 func runWheelAnchor(x any) {
 	a := x.(*anchorArg)
 	w, k := a.w, a.tick
@@ -190,6 +217,8 @@ func runWheelAnchor(x any) {
 // slots downward — then re-arms for the next occupied boundary.
 // Scanning occupancy bitmaps keeps the pass proportional to occupied
 // slots, not slot count.
+//
+//sslab:hotpath
 func (w *Wheel) advance() {
 	cur := w.absTick(w.sim.Now())
 	// Highest level first, so cascaded entries land in lower levels
@@ -224,6 +253,8 @@ func (w *Wheel) advance() {
 // pour empties one slot: level 0 releases entries to the Sim heap in
 // (at, Schedule-order) order; higher levels re-place entries one level
 // down (or directly onto the heap if now imminent).
+//
+//sslab:hotpath
 func (w *Wheel) pour(level, slot int) {
 	list := w.slots[level][slot]
 	w.slots[level][slot] = list[:0]
@@ -251,6 +282,8 @@ func (w *Wheel) pour(level, slot int) {
 // near-sorted (append order is Schedule order), so this is cheap and
 // allocation-free; it makes equal-time dispatch order equal Schedule
 // order even when entries reached the slot through different levels.
+//
+//sslab:hotpath
 func sortEntries(list []wentry) {
 	for i := 1; i < len(list); i++ {
 		e := list[i]

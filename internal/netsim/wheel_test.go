@@ -4,6 +4,8 @@ import (
 	"math/rand"
 	"testing"
 	"time"
+
+	"sslab/internal/seedfork"
 )
 
 // fireLog records dispatches as (virtual time, id) pairs.
@@ -55,7 +57,7 @@ func TestWheelMatchesHeap(t *testing.T) {
 	runTimeline := func(useWheel bool) []fireRec {
 		sim := NewSim()
 		log := &fireLog{sim: sim}
-		wheel := NewWheel(sim, time.Second)
+		wheel := NewWheel(sim)
 		args := make([]fireArg, n)
 		for i, off := range offsets {
 			args[i] = fireArg{log: log, id: i}
@@ -86,7 +88,7 @@ func TestWheelMatchesHeap(t *testing.T) {
 // delivery: each callback runs at precisely its Schedule time.
 func TestWheelExactTimes(t *testing.T) {
 	sim := NewSim()
-	w := NewWheel(sim, time.Second)
+	w := NewWheel(sim)
 	log := &fireLog{sim: sim}
 	offsets := []time.Duration{
 		1500 * time.Millisecond,
@@ -116,7 +118,7 @@ func TestWheelExactTimes(t *testing.T) {
 // one scheduled late directly into level 0).
 func TestWheelEqualTimeOrder(t *testing.T) {
 	sim := NewSim()
-	w := NewWheel(sim, time.Second)
+	w := NewWheel(sim)
 	log := &fireLog{sim: sim}
 	target := Epoch.Add(2*time.Hour + 300*time.Millisecond)
 
@@ -171,7 +173,7 @@ func TestWheelSelfRescheduling(t *testing.T) {
 	run := func(useWheel bool) []fireRec {
 		sim := NewSim()
 		log := &fireLog{sim: sim}
-		w := NewWheel(sim, time.Second)
+		w := NewWheel(sim)
 		sched := sim.AtCall
 		if useWheel {
 			sched = w.Schedule
@@ -180,7 +182,7 @@ func TestWheelSelfRescheduling(t *testing.T) {
 		for i := range states {
 			states[i] = chainState{
 				log: log, sched: sched, id: i, left: hops,
-				rng: rand.New(rand.NewSource(int64(1000 + i))),
+				rng: rand.New(rand.NewSource(seedfork.Fork(1000, "wheel.chain", int64(i)))),
 			}
 			sched(Epoch.Add(time.Duration(i)*time.Second), runChain, &states[i])
 		}
@@ -204,7 +206,7 @@ func TestWheelSelfRescheduling(t *testing.T) {
 // parked and fire on a later resume.
 func TestWheelRunUntil(t *testing.T) {
 	sim := NewSim()
-	w := NewWheel(sim, time.Second)
+	w := NewWheel(sim)
 	log := &fireLog{sim: sim}
 	args := []fireArg{{log, 0}, {log, 1}}
 	w.Schedule(Epoch.Add(time.Hour), runFire, &args[0])
@@ -226,7 +228,7 @@ func TestWheelRunUntil(t *testing.T) {
 // TestWheelPastSchedules go straight to the heap, clamped like Sim.At.
 func TestWheelPastSchedules(t *testing.T) {
 	sim := NewSim()
-	w := NewWheel(sim, time.Second)
+	w := NewWheel(sim)
 	sim.RunUntil(Epoch.Add(time.Hour))
 	log := &fireLog{sim: sim}
 	a := fireArg{log, 7}

@@ -72,6 +72,8 @@ func appendPad16(b []byte) []byte {
 
 // Seal implements cipher.AEAD: it encrypts plaintext, appends the result
 // and a 16-byte tag to dst, and returns the extended slice.
+//
+//sslab:hotpath
 func (a *ChaCha20Poly1305) Seal(dst, nonce, plaintext, additionalData []byte) []byte {
 	if len(nonce) != ChaCha20NonceSizeIETF {
 		panic("sscrypto: bad nonce length for chacha20-poly1305")
@@ -102,6 +104,8 @@ func (a *ChaCha20Poly1305) Seal(dst, nonce, plaintext, additionalData []byte) []
 
 // Open implements cipher.AEAD: it verifies the tag and decrypts. On
 // authentication failure it returns ErrAuthFailed and leaves dst unchanged.
+//
+//sslab:hotpath
 func (a *ChaCha20Poly1305) Open(dst, nonce, ciphertext, additionalData []byte) ([]byte, error) {
 	if len(nonce) != ChaCha20NonceSizeIETF {
 		return nil, errChaChaParams

@@ -58,6 +58,8 @@ func incrementNonce(n []byte) {
 // so that — like real implementations before OutlineVPN's July 2020 change —
 // the first data-carrying packet is [salt][len|tag][payload|tag], giving
 // the characteristic first-packet lengths the detector keys on.
+//
+//sslab:hotpath
 func (c *aeadConn) Write(p []byte) (int, error) {
 	out := c.wBuf[:0]
 	if c.wAEAD == nil {

@@ -34,6 +34,8 @@ func (c *streamConn) PeerSalt() []byte { return c.rIV }
 // prepends this direction's IV in the same segment, so the first
 // data-carrying packet on the wire is [IV][ciphertext] — the packet whose
 // length and entropy the GFW's passive detector inspects.
+//
+//sslab:hotpath
 func (c *streamConn) Write(p []byte) (int, error) {
 	if c.wStream == nil {
 		iv := make([]byte, c.spec.IVSize)
@@ -71,6 +73,8 @@ func (c *streamConn) scratch(n int) []byte {
 }
 
 // Read decrypts into p; the first Read consumes the peer's IV.
+//
+//sslab:hotpath
 func (c *streamConn) Read(p []byte) (int, error) {
 	if c.rStream == nil {
 		iv := make([]byte, c.spec.IVSize)
