@@ -55,6 +55,9 @@ func TestHotPathAllocBudgets(t *testing.T) {
 	}
 	checkAllocBudgets(t, "BENCH_hotpath.json", map[string]func(*testing.B){
 		"GFWOnFlow":       benchGFWOnFlow,
+		"GFWOnFlow3Stage": benchGFWOnFlow3Stage,
+		"DetectorChainSS": benchDetectorChainSS,
+		"DetectorChain3":  benchDetectorChain3,
 		"EventDispatch":   benchEventDispatch,
 		"StreamConnWrite": benchStreamConnWrite,
 		"AEADConnWrite":   benchAEADConnWrite,

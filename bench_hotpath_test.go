@@ -15,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"sslab/internal/detector"
 	"sslab/internal/entropy"
 	"sslab/internal/gfw"
 	"sslab/internal/netsim"
@@ -25,6 +26,9 @@ import (
 
 func BenchmarkHotPath(b *testing.B) {
 	b.Run("GFWOnFlow", benchGFWOnFlow)
+	b.Run("GFWOnFlow3Stage", benchGFWOnFlow3Stage)
+	b.Run("DetectorChainSS", benchDetectorChainSS)
+	b.Run("DetectorChain3", benchDetectorChain3)
 	b.Run("ImpairedConnect", benchImpairedConnect)
 	b.Run("EventDispatch", benchEventDispatch)
 	b.Run("StreamConnWrite", benchStreamConnWrite)
@@ -40,9 +44,21 @@ func BenchmarkHotPath(b *testing.B) {
 // long out-of-support flows. Probe events are drained as virtual time
 // advances, so the event loop and prober pool are part of the cost.
 func benchGFWOnFlow(b *testing.B) {
+	benchGFWOnFlowChain(b, nil)
+}
+
+// benchGFWOnFlow3Stage is the same pipeline with the three-stage passive
+// chain (shadowsocks + openvpn + fullyencrypted). The acceptance bound:
+// within 2× of the single-stage GFWOnFlow ns/op at the same 1 alloc/op.
+func benchGFWOnFlow3Stage(b *testing.B) {
+	benchGFWOnFlowChain(b, []string{"shadowsocks", "openvpn", "fullyencrypted"})
+}
+
+func benchGFWOnFlowChain(b *testing.B, detectors []string) {
 	sim := netsim.NewSim()
 	network := netsim.NewNetwork(sim)
-	censor := gfw.New(gfw.Env{Sim: sim, Net: network}, gfw.WithConfig(gfw.Config{Seed: 7, PoolSize: 4000}))
+	censor := gfw.New(gfw.Env{Sim: sim, Net: network},
+		gfw.WithConfig(gfw.Config{Seed: 7, PoolSize: 4000, Detectors: detectors}))
 	network.AddMiddlebox(censor)
 
 	server := netsim.Endpoint{IP: "178.62.10.1", Port: 8388}
@@ -64,22 +80,7 @@ func benchGFWOnFlow(b *testing.B) {
 		return netsim.Outcome{Reaction: reaction.RST}
 	}))
 
-	// 70% Shadowsocks-shaped first packets (high entropy, lengths that
-	// land in the detector support), 15% short low-entropy, 15% long
-	// out-of-support — roughly the border mix the FPStudy models.
-	gen := entropy.NewGenerator(11)
-	lenRng := rand.New(rand.NewSource(13))
-	payloads := make([][]byte, 1024)
-	for i := range payloads {
-		switch {
-		case i%20 < 14:
-			payloads[i] = gen.Random(160 + lenRng.Intn(840))
-		case i%20 < 17:
-			payloads[i] = gen.Payload(20+lenRng.Intn(100), 3.0)
-		default:
-			payloads[i] = gen.Random(1000 + lenRng.Intn(500))
-		}
-	}
+	payloads := benchPayloadMix()
 
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -93,6 +94,58 @@ func benchGFWOnFlow(b *testing.B) {
 	}
 	sim.Run()
 	b.ReportMetric(float64(censor.ProbesSent)/float64(b.N), "probes/flow")
+}
+
+// benchPayloadMix builds the first-packet mix the GFW benches drive: 70%
+// Shadowsocks-shaped (high entropy, lengths in the detector support),
+// 15% short low-entropy, 15% long out-of-support — roughly the border
+// mix the FPStudy models.
+func benchPayloadMix() [][]byte {
+	gen := entropy.NewGenerator(11)
+	lenRng := rand.New(rand.NewSource(13))
+	payloads := make([][]byte, 1024)
+	for i := range payloads {
+		switch {
+		case i%20 < 14:
+			payloads[i] = gen.Random(160 + lenRng.Intn(840))
+		case i%20 < 17:
+			payloads[i] = gen.Payload(20+lenRng.Intn(100), 3.0)
+		default:
+			payloads[i] = gen.Random(1000 + lenRng.Intn(500))
+		}
+	}
+	return payloads
+}
+
+// benchDetectorChainSS isolates the detector chain itself — no network,
+// no prober — with the classic single-stage chain over the same payload
+// mix. Budget: 0 allocs/op.
+func benchDetectorChainSS(b *testing.B) {
+	benchDetectorChain(b, []string{"shadowsocks"})
+}
+
+// benchDetectorChain3 is the three-stage chain (shadowsocks + openvpn +
+// fullyencrypted) over the same mix. Budget: 0 allocs/op.
+func benchDetectorChain3(b *testing.B) {
+	benchDetectorChain(b, []string{"shadowsocks", "openvpn", "fullyencrypted"})
+}
+
+func benchDetectorChain(b *testing.B, names []string) {
+	chain := detector.MustChain(names, detector.Params{Base: 0.04})
+	payloads := benchPayloadMix()
+	f := &netsim.Flow{}
+	suspects := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.FirstPayload = payloads[i%len(payloads)]
+		if _, res := chain.Observe(f); res.Verdict == detector.Suspect {
+			suspects++
+		}
+	}
+	if b.N > 1024 && suspects == 0 {
+		b.Fatal("chain never flagged the Shadowsocks-shaped mix")
+	}
 }
 
 // benchImpairedConnect drives Connect down the impaired path: every

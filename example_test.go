@@ -60,6 +60,22 @@ func ExampleWithImpairment() {
 	// flows lost to the link: true
 }
 
+// ExampleWithDetectors builds a censor running the full four-stage
+// detector chain, using stage aliases. The chain is order-independent:
+// verdicts combine by exempt-veto then maximum confidence, so listing
+// "tls" last protects TLS flows just the same.
+func ExampleWithDetectors() {
+	sim := sslab.NewSim(sslab.WithSeed(1))
+	net := sslab.NewNetwork(sim)
+	censor := sslab.NewCensor(sslab.CensorEnv{Sim: sim, Net: net},
+		sslab.WithDetectors("ss", "ovpn", "fep", "tls"))
+	fmt.Println("chain:", censor.DetectorNames())
+	fmt.Println("registered stages:", sslab.DetectorNames())
+	// Output:
+	// chain: [shadowsocks openvpn fullyencrypted tlsexempt]
+	// registered stages: [fullyencrypted openvpn shadowsocks tlsexempt]
+}
+
 // ExampleRunReactionMatrices regenerates one Figure 10b fingerprint: the
 // OutlineVPN v1.0.6 FIN/ACK band at exactly 50 bytes.
 func ExampleRunReactionMatrices() {

@@ -43,6 +43,7 @@ var Analyzer = &analysis.Analyzer{
 		"sslab/internal/bloom",
 		"sslab/internal/capture",
 		"sslab/internal/defense",
+		"sslab/internal/detector",
 		"sslab/internal/entropy",
 		"sslab/internal/fleet",
 		"sslab/internal/gfw",

@@ -37,6 +37,7 @@ var Analyzer = &analysis.Analyzer{
 		"sslab/cmd/...",
 		"sslab/internal/campaign",
 		"sslab/internal/capture",
+		"sslab/internal/detector",
 		"sslab/internal/experiment",
 		"sslab/internal/fleet",
 		"sslab/internal/gfw",

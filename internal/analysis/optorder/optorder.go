@@ -38,6 +38,7 @@ var Analyzer = &analysis.Analyzer{
 		"sslab/internal/campaign",
 		"sslab/internal/capture",
 		"sslab/internal/defense",
+		"sslab/internal/detector",
 		"sslab/internal/entropy",
 		"sslab/internal/experiment",
 		"sslab/internal/fleet",

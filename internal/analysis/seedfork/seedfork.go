@@ -37,6 +37,7 @@ var Analyzer = &analysis.Analyzer{
 		"sslab/internal/campaign",
 		"sslab/internal/capture",
 		"sslab/internal/defense",
+		"sslab/internal/detector",
 		"sslab/internal/entropy",
 		"sslab/internal/experiment",
 		"sslab/internal/fleet",

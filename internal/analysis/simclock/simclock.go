@@ -38,6 +38,7 @@ var Analyzer = &analysis.Analyzer{
 		"(sim.Now, sim.After, sim.At)",
 	Scope: []string{
 		"sslab/internal/campaign",
+		"sslab/internal/detector",
 		"sslab/internal/experiment",
 		"sslab/internal/fleet",
 		"sslab/internal/gfw",

@@ -1,0 +1,302 @@
+package detector
+
+import (
+	"math/rand"
+	"testing"
+
+	"sslab/internal/entropy"
+	"sslab/internal/netsim"
+)
+
+// --- Shadowsocks stage weights (moved from internal/gfw) -----------------
+
+func TestLengthWeightSupport(t *testing.T) {
+	for _, n := range []int{0, 1, 100, 159, 1000, 1500} {
+		if w := lengthWeight(n); w != 0 {
+			t.Errorf("lengthWeight(%d) = %v, want 0 (outside Figure 8 support)", n, w)
+		}
+	}
+	if lengthWeight(160) == 0 || lengthWeight(999) == 0 {
+		t.Error("in-support lengths have zero weight")
+	}
+}
+
+func TestLengthWeightRemainders(t *testing.T) {
+	// In 160–263 remainder 9 must dominate; in 384–687 remainder 2.
+	if lengthWeight(169) <= lengthWeight(170) { // 169%16==9
+		t.Error("remainder 9 not privileged in low band")
+	}
+	if lengthWeight(402) <= lengthWeight(403) { // 402%16==2
+		t.Error("remainder 2 not privileged in high band")
+	}
+	// Middle band mixes both.
+	if lengthWeight(265) < 0.5 || lengthWeight(274) < 0.5 { // 265%16=9, 274%16=2
+		t.Error("middle band does not mix remainders 9 and 2")
+	}
+}
+
+// TestEntropyWeightRatio pins Figure 9's headline: H=7.2 is ≈4× H=3.0.
+func TestEntropyWeightRatio(t *testing.T) {
+	ratio := entropyWeight(7.2) / entropyWeight(3.0)
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Errorf("weight(7.2)/weight(3.0) = %.2f, want ≈4", ratio)
+	}
+	if entropyWeight(0) <= 0 {
+		t.Error("zero-entropy payloads must remain replayable (Figure 9 shows all entropies)")
+	}
+	if entropyWeight(8) != 1 {
+		t.Errorf("weight(8) = %v, want 1", entropyWeight(8))
+	}
+}
+
+// TestShadowsocksStageConfidence: the stage's Suspect confidence must be
+// exactly base × lengthWeight × entropyWeight — the recording
+// probability internal/gfw's pre-refactor detector computed.
+func TestShadowsocksStageConfidence(t *testing.T) {
+	gen := entropy.NewGenerator(3)
+	payload := gen.Random(409) // 409%16==9: top length weight
+	var sc Scratch
+	sc.reset(payload)
+	st := factories[StageShadowsocks](Params{Base: 0.04}).(*ssStage)
+	res := st.Observe(&netsim.Flow{FirstPayload: payload}, &sc)
+	if res.Verdict != Suspect {
+		t.Fatalf("verdict = %v, want suspect", res.Verdict)
+	}
+	want := 0.04 * lengthWeight(len(payload)) * entropyWeight(entropy.Shannon(payload))
+	if res.Confidence != want {
+		t.Errorf("confidence = %v, want %v", res.Confidence, want)
+	}
+
+	// Out-of-support lengths pass without touching the entropy scratch.
+	sc.reset(payload[:80])
+	if res := st.Observe(&netsim.Flow{FirstPayload: payload[:80]}, &sc); res.Verdict != Pass {
+		t.Errorf("80-byte payload verdict = %v, want pass", res.Verdict)
+	}
+	if sc.entOK {
+		t.Error("length-vetoed payload computed entropy anyway")
+	}
+}
+
+// --- registry ------------------------------------------------------------
+
+func TestRegistryAndAliases(t *testing.T) {
+	want := []string{StageFullyEncrypted, StageOpenVPN, StageShadowsocks, StageTLSExempt}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", got, want)
+		}
+	}
+	for alias, canon := range map[string]string{
+		"ss": StageShadowsocks, "tls": StageTLSExempt,
+		"ovpn": StageOpenVPN, "vpn": StageOpenVPN,
+		"fep": StageFullyEncrypted, "obfs": StageFullyEncrypted,
+		StageShadowsocks: StageShadowsocks, "nonsense": "nonsense",
+	} {
+		if got := Canonical(alias); got != canon {
+			t.Errorf("Canonical(%q) = %q, want %q", alias, got, canon)
+		}
+	}
+
+	c := MustChain([]string{"tls", "ss", "ovpn", "fep"}, Params{})
+	names := c.Names()
+	wantChain := []string{StageTLSExempt, StageShadowsocks, StageOpenVPN, StageFullyEncrypted}
+	for i := range wantChain {
+		if names[i] != wantChain[i] {
+			t.Fatalf("chain names = %v, want %v", names, wantChain)
+		}
+	}
+}
+
+func TestNewChainErrors(t *testing.T) {
+	if _, err := NewChain(nil, Params{}); err == nil {
+		t.Error("empty chain accepted")
+	}
+	if _, err := NewChain([]string{"shadowsock"}, Params{}); err == nil {
+		t.Error("unknown stage accepted")
+	}
+	if _, err := NewChain([]string{"ss", StageShadowsocks}, Params{}); err == nil {
+		t.Error("duplicate stage (via alias) accepted")
+	}
+	if err := ValidateNames([]string{"ss", "ovpn"}); err != nil {
+		t.Errorf("ValidateNames rejected a valid chain: %v", err)
+	}
+}
+
+// --- chain semantics -----------------------------------------------------
+
+// corpus builds a payload set covering every stage's territory: SS-shaped
+// random bytes, OpenVPN resets (both layouts), TLS hellos, printable
+// HTTP, short and empty payloads, corrupted resets.
+func corpus(t *testing.T) [][]byte {
+	t.Helper()
+	gen := entropy.NewGenerator(17)
+	rng := rand.New(rand.NewSource(18))
+	var out [][]byte
+	out = append(out, nil, []byte{}, []byte("GET / HTTP/1.1\r\nHost: example.com\r\n\r\n"))
+	for i := 0; i < 60; i++ {
+		out = append(out, gen.Random(1+rng.Intn(1200)))        // random, all lengths
+		out = append(out, gen.Payload(100+rng.Intn(800), 3.0)) // low entropy
+		out = append(out, gen.Payload(160+rng.Intn(600), 5.5)) // hello-like entropy
+	}
+	// TLS-framed payloads.
+	for i := 0; i < 20; i++ {
+		body := 200 + rng.Intn(400)
+		p := gen.Random(5 + body)
+		p[0], p[1], p[2] = 0x16, 0x03, 0x03
+		p[3], p[4] = byte(body>>8), byte(body)
+		out = append(out, p)
+	}
+	// Well-formed and corrupted OpenVPN resets.
+	for i := 0; i < 20; i++ {
+		for _, auth := range []bool{false, true} {
+			p := buildReset(rng, auth)
+			out = append(out, p)
+			bad := append([]byte(nil), p...)
+			bad[rng.Intn(len(bad))] ^= 1 << uint(rng.Intn(8))
+			out = append(out, bad)
+		}
+	}
+	return out
+}
+
+// buildReset hand-assembles a client reset for tests.
+func buildReset(rng *rand.Rand, auth bool) []byte {
+	n := resetPlainLen
+	if auth {
+		n = resetAuthLen
+	}
+	p := make([]byte, n)
+	p[0], p[1] = byte((n-2)>>8), byte(n-2)
+	p[2] = OpControlHardResetClientV2 << 3
+	rng.Read(p[3:11])
+	if auth {
+		rng.Read(p[11:31]) // HMAC
+		p[34] = 1          // packet ID 1
+		rng.Read(p[35:39]) // net time
+	}
+	return p
+}
+
+// permutations returns all orderings of names.
+func permutations(names []string) [][]string {
+	if len(names) <= 1 {
+		return [][]string{append([]string(nil), names...)}
+	}
+	var out [][]string
+	for i := range names {
+		rest := make([]string, 0, len(names)-1)
+		rest = append(rest, names[:i]...)
+		rest = append(rest, names[i+1:]...)
+		for _, perm := range permutations(rest) {
+			out = append(out, append([]string{names[i]}, perm...))
+		}
+	}
+	return out
+}
+
+// TestChainOrderIndependence: the combined verdict, confidence and
+// winning stage name must be identical for every permutation of a chain
+// — the combine rule (exempt veto, max confidence, name tie-break) is
+// commutative by construction.
+func TestChainOrderIndependence(t *testing.T) {
+	stages := []string{StageTLSExempt, StageShadowsocks, StageOpenVPN, StageFullyEncrypted}
+	perms := permutations(stages)
+	chains := make([]*Chain, len(perms))
+	for i, p := range perms {
+		chains[i] = MustChain(p, Params{})
+	}
+	for pi, payload := range corpus(t) {
+		f := &netsim.Flow{FirstPayload: payload}
+		refIdx, refRes := chains[0].Observe(f)
+		refName := ""
+		if refIdx >= 0 {
+			refName = chains[0].names[refIdx]
+		}
+		for ci := 1; ci < len(chains); ci++ {
+			idx, res := chains[ci].Observe(f)
+			name := ""
+			if idx >= 0 {
+				name = chains[ci].names[idx]
+			}
+			if res != refRes || name != refName {
+				t.Fatalf("payload %d (len %d): order %v gave (%s, %+v); order %v gave (%s, %+v)",
+					pi, len(payload), perms[0], refName, refRes, perms[ci], name, res)
+			}
+		}
+	}
+}
+
+// TestChainExemptVeto: a TLS-framed payload that the Shadowsocks stage
+// would flag is vetoed by the tlsexempt stage, in either order.
+func TestChainExemptVeto(t *testing.T) {
+	gen := entropy.NewGenerator(9)
+	body := 404 // in-support length, high entropy
+	p := gen.Random(5 + body)
+	p[0], p[1], p[2] = 0x16, 0x03, 0x01
+	p[3], p[4] = byte(body>>8), byte(body)
+	f := &netsim.Flow{FirstPayload: p}
+
+	bare := MustChain([]string{StageShadowsocks}, Params{})
+	if _, res := bare.Observe(f); res.Verdict != Suspect {
+		t.Fatal("test payload not suspect without the whitelist; corpus broken")
+	}
+	for _, names := range [][]string{
+		{StageTLSExempt, StageShadowsocks},
+		{StageShadowsocks, StageTLSExempt},
+	} {
+		c := MustChain(names, Params{})
+		if _, res := c.Observe(f); res.Verdict != Exempt {
+			t.Errorf("chain %v: verdict %v, want exempt", names, res.Verdict)
+		}
+	}
+}
+
+// TestChainWinnerAttribution: the returned index names the stage whose
+// confidence decided the flow.
+func TestChainWinnerAttribution(t *testing.T) {
+	c := MustChain([]string{StageShadowsocks, StageOpenVPN, StageFullyEncrypted}, Params{})
+	rng := rand.New(rand.NewSource(4))
+
+	reset := buildReset(rng, false)
+	idx, res := c.Observe(&netsim.Flow{FirstPayload: reset})
+	if res.Verdict != Suspect || c.names[idx] != StageOpenVPN {
+		t.Errorf("reset: winner %q (%+v), want openvpn", c.names[idx], res)
+	}
+	if res.Confidence != openvpnConfidence {
+		t.Errorf("reset confidence %v, want %v", res.Confidence, openvpnConfidence)
+	}
+
+	// A long max-entropy payload is claimed by the fully-encrypted stage
+	// (its rate beats the Shadowsocks stage's base rate).
+	gen := entropy.NewGenerator(5)
+	long := gen.Random(700)
+	idx, res = c.Observe(&netsim.Flow{FirstPayload: long})
+	if res.Verdict != Suspect || c.names[idx] != StageFullyEncrypted {
+		t.Errorf("random 700B: winner %q (%+v), want fullyencrypted", c.names[idx], res)
+	}
+}
+
+// TestChainObserveAllocs pins the hot path at zero allocations.
+func TestChainObserveAllocs(t *testing.T) {
+	c := MustChain([]string{StageShadowsocks, StageOpenVPN, StageFullyEncrypted}, Params{})
+	gen := entropy.NewGenerator(6)
+	payloads := [][]byte{
+		gen.Random(409),
+		gen.Random(700),
+		buildReset(rand.New(rand.NewSource(7)), true),
+		[]byte("GET / HTTP/1.1\r\n\r\n"),
+	}
+	f := &netsim.Flow{}
+	i := 0
+	if n := testing.AllocsPerRun(200, func() {
+		f.FirstPayload = payloads[i%len(payloads)]
+		i++
+		c.Observe(f)
+	}); n != 0 {
+		t.Errorf("Chain.Observe allocates %.1f per op, want 0", n)
+	}
+}

@@ -1,0 +1,101 @@
+package detector
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestParseClientResetValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, auth := range []bool{false, true} {
+		p := buildReset(rng, auth)
+		r, ok := ParseClientReset(p)
+		if !ok {
+			t.Fatalf("auth=%v: well-formed reset rejected", auth)
+		}
+		if r.Op != OpControlHardResetClientV2 {
+			t.Errorf("auth=%v: op = %d, want %d", auth, r.Op, OpControlHardResetClientV2)
+		}
+		if r.KeyID != 0 {
+			t.Errorf("auth=%v: key ID = %d, want 0", auth, r.KeyID)
+		}
+		if r.TLSAuth != auth {
+			t.Errorf("auth=%v: TLSAuth = %v", auth, r.TLSAuth)
+		}
+		if !bytes.Equal(r.Session[:], p[3:11]) {
+			t.Errorf("auth=%v: session ID not extracted", auth)
+		}
+	}
+
+	// V1 and V3 opcodes also parse.
+	for _, op := range []byte{OpControlHardResetClientV1, OpControlHardResetClientV3} {
+		p := buildReset(rng, false)
+		p[2] = op << 3
+		if _, ok := ParseClientReset(p); !ok {
+			t.Errorf("opcode %d rejected", op)
+		}
+	}
+}
+
+func TestParseClientResetRejects(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	base := buildReset(rng, false)
+
+	mutate := func(f func(p []byte)) []byte {
+		p := append([]byte(nil), base...)
+		f(p)
+		return p
+	}
+	cases := map[string][]byte{
+		"empty":            nil,
+		"short":            base[:10],
+		"long":             append(append([]byte(nil), base...), 0),
+		"bad length":       mutate(func(p []byte) { p[1]++ }),
+		"server opcode":    mutate(func(p []byte) { p[2] = 8 << 3 }), // HARD_RESET_SERVER_V2
+		"ack opcode":       mutate(func(p []byte) { p[2] = OpAckV1 << 3 }),
+		"nonzero key id":   mutate(func(p []byte) { p[2] |= 0x01 }),
+		"nonempty ack":     mutate(func(p []byte) { p[11] = 1 }),
+		"truncated to 43":  buildReset(rng, true)[:43],
+		"auth ack nonzero": func() []byte { p := buildReset(rng, true); p[39] = 2; return p }(),
+	}
+	for name, p := range cases {
+		if _, ok := ParseClientReset(p); ok {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// FuzzParseClientReset: the parser must never panic, and an accepted
+// packet must satisfy the documented invariants (exact framing, client
+// hard-reset opcode, key ID 0, empty ACK array).
+func FuzzParseClientReset(f *testing.F) {
+	rng := rand.New(rand.NewSource(3))
+	f.Add([]byte(nil))
+	f.Add(buildReset(rng, false))
+	f.Add(buildReset(rng, true))
+	f.Add(bytes.Repeat([]byte{0x38}, resetPlainLen))
+	f.Fuzz(func(t *testing.T, p []byte) {
+		r, ok := ParseClientReset(p)
+		if !ok {
+			return
+		}
+		if len(p) != resetPlainLen && len(p) != resetAuthLen {
+			t.Fatalf("accepted length %d", len(p))
+		}
+		if int(p[0])<<8|int(p[1]) != len(p)-2 {
+			t.Fatal("accepted mismatched length prefix")
+		}
+		switch r.Op {
+		case OpControlHardResetClientV1, OpControlHardResetClientV2, OpControlHardResetClientV3:
+		default:
+			t.Fatalf("accepted opcode %d", r.Op)
+		}
+		if r.KeyID != 0 {
+			t.Fatalf("accepted key ID %d", r.KeyID)
+		}
+		if r.TLSAuth != (len(p) == resetAuthLen) {
+			t.Fatal("TLSAuth flag does not match layout")
+		}
+	})
+}

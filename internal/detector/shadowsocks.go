@@ -1,13 +1,14 @@
-package gfw
+package detector
 
 import (
-	"sslab/internal/entropy"
+	"sslab/internal/netsim"
 )
 
-// The passive detector: §4.2 establishes that the GFW identifies probable
-// Shadowsocks connections from the length and entropy of the first data
-// packet alone. The weights below are calibrated so the downstream
-// statistics the paper measures emerge:
+// The Shadowsocks stage is the paper's passive detector: §4.2
+// establishes that the GFW identifies probable Shadowsocks connections
+// from the length and entropy of the first data packet alone. The
+// weights below are calibrated so the downstream statistics the paper
+// measures emerge:
 //
 //   - Replays are essentially confined to trigger lengths 160–999 bytes
 //     (Figure 8's support: min 161, max 999).
@@ -21,6 +22,15 @@ import (
 // packets land: a stream-cipher IPv4 flight is IV+7 bytes and an AEAD
 // flight is salt+2+16+16+payload, so the detector privileging those
 // remainders is consistent with it having been trained on real traffic.
+
+// StageShadowsocks names the length+entropy Shadowsocks stage.
+const StageShadowsocks = "shadowsocks"
+
+func init() {
+	register(StageShadowsocks, func(p Params) Stage {
+		return &ssStage{base: p.Base, ignoreLength: p.DisableLength, ignoreEntropy: p.DisableEntropy}
+	})
+}
 
 // lengthWeight returns the relative probability that a first packet of
 // length n is selected for recording/replay, before the entropy factor.
@@ -73,18 +83,24 @@ func entropyWeight(h float64) float64 {
 	}
 }
 
-// detector evaluates first payloads.
-type detector struct {
+// ssStage evaluates first payloads with the length and entropy features.
+type ssStage struct {
 	base          float64 // overall recording rate scale
 	ignoreLength  bool    // ablation: drop the length feature
 	ignoreEntropy bool    // ablation: drop the entropy feature
 }
 
-// recordProbability returns the probability that the detector records this
-// first payload for replay probing.
-func (d detector) recordProbability(payload []byte) float64 {
+// Name implements Stage.
+func (s *ssStage) Name() string { return StageShadowsocks }
+
+// Observe returns Suspect with the probability that the detector
+// records this first payload for replay probing as confidence.
+//
+//sslab:hotpath
+func (s *ssStage) Observe(f *netsim.Flow, sc *Scratch) Result {
+	payload := f.FirstPayload
 	lw := lengthWeight(len(payload))
-	if d.ignoreLength {
+	if s.ignoreLength {
 		if len(payload) == 0 {
 			lw = 0
 		} else {
@@ -95,11 +111,15 @@ func (d detector) recordProbability(payload []byte) float64 {
 		// The length feature already vetoed this payload; skip the
 		// entropy pass entirely. Most cross-firewall traffic lands here,
 		// so the common case never touches the payload bytes.
-		return 0
+		return Result{}
 	}
-	ew := entropyWeight(entropy.Shannon(payload))
-	if d.ignoreEntropy {
-		ew = 0.6
+	ew := 0.6 // the DisableEntropy ablation's flat factor
+	if !s.ignoreEntropy {
+		ew = entropyWeight(sc.Entropy())
 	}
-	return d.base * lw * ew
+	p := s.base * lw * ew
+	if p <= 0 {
+		return Result{}
+	}
+	return Result{Verdict: Suspect, Confidence: p}
 }

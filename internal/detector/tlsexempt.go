@@ -1,0 +1,33 @@
+package detector
+
+import (
+	"sslab/internal/defense"
+	"sslab/internal/netsim"
+)
+
+// StageTLSExempt names the TLS-whitelist stage.
+const StageTLSExempt = "tlsexempt"
+
+func init() {
+	register(StageTLSExempt, func(Params) Stage { return tlsStage{} })
+}
+
+// tlsStage models a censor that exempts TLS-framed flows from every
+// other detector to avoid mass-probing the web — the conjecture the
+// FPStudy motivates and the mechanism application-fronting tools (§8)
+// rely on. It maps gfw.Config.TLSWhitelist onto the chain: an Exempt
+// verdict vetoes any Suspect verdict from the protocol stages.
+type tlsStage struct{}
+
+// Name implements Stage.
+func (tlsStage) Name() string { return StageTLSExempt }
+
+// Observe implements Stage.
+//
+//sslab:hotpath
+func (tlsStage) Observe(f *netsim.Flow, sc *Scratch) Result {
+	if defense.IsTLSFramed(f.FirstPayload) {
+		return Result{Verdict: Exempt, Confidence: 1}
+	}
+	return Result{}
+}

@@ -216,6 +216,7 @@ var runners = []Runner{
 		run: func(cfg RobustnessConfig) (Report, error) { return Robustness(cfg) },
 	},
 	fleetRunner,
+	armsraceRunner,
 }
 
 // Runners returns the registry in presentation order.

@@ -10,7 +10,7 @@ import (
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"table1", "shadowsocks", "sink", "brdgrd", "blocking",
 		"fpstudy", "banstudy", "mimicstudy", "probecost", "matrix", "robustness",
-		"fleet"}
+		"fleet", "armsrace"}
 	rs := Runners()
 	if len(rs) != len(want) {
 		t.Fatalf("registry has %d runners, want %d", len(rs), len(want))
@@ -85,6 +85,12 @@ func TestRunnerRunsSmall(t *testing.T) {
 			c := cfg.(*fleet.Config)
 			c.Users = 300
 			c.Hours = 2
+		}},
+		{"armsrace", func(cfg any) {
+			c := cfg.(*ArmsRaceConfig)
+			c.Users = 300
+			c.Hours = 2
+			c.Chains = [][]string{{"shadowsocks"}, {"ss", "ovpn", "fep"}}
 		}},
 	} {
 		r, ok := Lookup(tc.name)

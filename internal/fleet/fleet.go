@@ -26,6 +26,7 @@ import (
 	"math/rand"
 	"time"
 
+	"sslab/internal/detector"
 	"sslab/internal/gfw"
 	"sslab/internal/metrics"
 	"sslab/internal/netsim"
@@ -84,8 +85,10 @@ type Config struct {
 
 // ImplShare is one entry of the server implementation mix.
 type ImplShare struct {
-	// Impl names an implementation: libev-old, libev-new, outline,
-	// sspython or ssr.
+	// Impl names an implementation: a Shadowsocks flavor (libev-old,
+	// libev-new, outline, sspython, ssr), an OpenVPN deployment (openvpn,
+	// openvpn-auth), an obfs-style transport (obfs2, obfs4), or the
+	// innocuous direct-web baseline (web).
 	Impl string
 	// Weight is the relative share of servers running Impl.
 	Weight float64
@@ -103,17 +106,52 @@ var DefaultMix = []ImplShare{
 	{Impl: "ssr", Weight: 0.15},
 }
 
-// implementations maps mix names to reaction profiles and the cipher
-// their era typically deployed.
+// protoKind selects a server's wire protocol family.
+type protoKind uint8
+
+const (
+	// protoSS is classic Shadowsocks: first packets are random-looking
+	// wire form of a tunneled workload; probes hit the reaction engine.
+	protoSS protoKind = iota
+	// protoOpenVPN is OpenVPN over TCP: the first packet is a client
+	// hard reset; a plain server answers well-formed resets (probeable),
+	// a tls-auth server drops everything unauthenticated.
+	protoOpenVPN
+	// protoObfs is an obfs-style fully encrypted transport: obfs2-era
+	// servers accept replays and close loudly on garbage, obfs4-style
+	// servers time every probe out.
+	protoObfs
+	// protoWeb is an ordinary web server — innocuous traffic that should
+	// never be blocked; any block against it is a false positive.
+	protoWeb
+)
+
+// implementations maps mix names to protocol family, reaction profile
+// (Shadowsocks only), workload override and probe posture.
 var implementations = map[string]struct {
+	proto   protoKind
 	profile reaction.Profile
 	method  string
+	wl      trafficgen.Workload // workload override for non-SS protocols
+	silent  bool                // drops every probe (tls-auth / obfs4)
 }{
-	"libev-old": {reaction.LibevOld, "aes-256-cfb"},
-	"libev-new": {reaction.LibevNew, "aes-256-gcm"},
-	"outline":   {reaction.Outline107, "chacha20-ietf-poly1305"},
-	"sspython":  {reaction.SSPython, "aes-256-cfb"},
-	"ssr":       {reaction.SSR, "aes-256-ctr"},
+	"libev-old": {proto: protoSS, profile: reaction.LibevOld, method: "aes-256-cfb"},
+	"libev-new": {proto: protoSS, profile: reaction.LibevNew, method: "aes-256-gcm"},
+	"outline":   {proto: protoSS, profile: reaction.Outline107, method: "chacha20-ietf-poly1305"},
+	"sspython":  {proto: protoSS, profile: reaction.SSPython, method: "aes-256-cfb"},
+	"ssr":       {proto: protoSS, profile: reaction.SSR, method: "aes-256-ctr"},
+
+	"openvpn":      {proto: protoOpenVPN, wl: trafficgen.OpenVPNTCP},
+	"openvpn-auth": {proto: protoOpenVPN, wl: trafficgen.OpenVPNTCPAuth, silent: true},
+	"obfs2":        {proto: protoObfs, wl: trafficgen.ObfsFirst},
+	"obfs4":        {proto: protoObfs, wl: trafficgen.ObfsFirst, silent: true},
+	"web":          {proto: protoWeb, wl: trafficgen.WebDirect},
+}
+
+// IsInnocuous reports whether a mix implementation name denotes traffic
+// that should never be blocked — blocks against it are false positives.
+func IsInnocuous(impl string) bool {
+	return implementations[impl].proto == protoWeb
 }
 
 func (c Config) withDefaults() Config {
@@ -183,9 +221,19 @@ type serverRec struct {
 	host      *serverHost
 	ep        netsim.Endpoint
 	spec      sscrypto.Spec
+	wl        uint8 // workload override for non-SS protocols
+	proto     protoKind
+	implIdx   int32 // index into Fleet.implNames
 	activated time.Time
 	firstFail time.Time // first user-observed blocked flow this epoch
 	replacing bool
+}
+
+// epoch records one endpoint activation: when, and which implementation
+// was behind it (for per-implementation block attribution).
+type epoch struct {
+	at   time.Time
+	impl int32
 }
 
 // userArg / srvArg are the pre-allocated closure-free scheduling
@@ -214,10 +262,10 @@ type Fleet struct {
 	sargs   []srvArg
 	clients []netsim.Endpoint
 	servers []serverRec
-	// epochs records each endpoint's activation time, so BlockEvents
-	// resolve to detection latencies after the run (O(servers +
-	// replacements) memory).
-	epochs map[netsim.Endpoint]time.Time
+	// epochs records each endpoint's activation time and implementation,
+	// so BlockEvents resolve to detection latencies and per-impl blocks
+	// after the run (O(servers + replacements) memory).
+	epochs map[netsim.Endpoint]epoch
 
 	tg      *trafficgen.Generator
 	scratch []byte
@@ -242,6 +290,13 @@ type Fleet struct {
 	blockedCurve []int64         // users currently cut off, sampled per bucket
 	probeLoad    []int64         // probes sent per bucket
 	lastProbes   int
+
+	// Per-implementation accounting, indexed by implNames position (mix
+	// order, so report rows are deterministic without sorting).
+	implNames   []string
+	implUsers   []int64
+	implServers []int64
+	implEver    []int64 // users ever blocked, by their server's impl
 
 	mFlows        *metrics.Counter
 	mWakeups      *metrics.Counter
@@ -302,7 +357,7 @@ func (f *Fleet) wake(a *userArg) {
 	}
 
 	srv := &f.servers[u.server]
-	f.scratch = f.tg.AppendFirstWirePacket(f.scratch[:0], srv.spec, trafficgen.Workload(u.wl))
+	f.scratch = f.tg.AppendProtocolFirstPacket(f.scratch[:0], srv.spec, trafficgen.Workload(u.wl))
 	out := f.net.Connect(f.clients[a.idx], srv.ep, f.scratch, false, time.Time{})
 	f.flows++
 	f.mFlows.Inc()
@@ -328,6 +383,7 @@ func (f *Fleet) onBlockedFlow(u *user, srv *serverRec, now time.Time) {
 		if !u.everBlocked {
 			u.everBlocked = true
 			f.everBlocked++
+			f.implEver[srv.implIdx]++
 		}
 	}
 	if srv.firstFail.IsZero() {
@@ -361,7 +417,7 @@ func (f *Fleet) replace(idx int32) {
 
 	srv.ep = f.serverEndpoint()
 	srv.activated = now
-	f.epochs[srv.ep] = now
+	f.epochs[srv.ep] = epoch{at: now, impl: srv.implIdx}
 	f.net.AddHost(srv.ep, srv.host)
 }
 
@@ -404,6 +460,9 @@ func Run(cfg Config) (*Report, error) {
 			return nil, fmt.Errorf("fleet: negative weight for %q", share.Impl)
 		}
 	}
+	if err := detector.ValidateNames(cfg.GFW.Detectors); err != nil {
+		return nil, fmt.Errorf("fleet: %w", err)
+	}
 
 	sim := netsim.NewSim(netsim.WithSeed(cfg.Seed))
 	var opts []netsim.NetworkOption
@@ -429,7 +488,7 @@ func Run(cfg Config) (*Report, error) {
 		meanGap:      time.Duration(float64(time.Hour) / cfg.PeakFlowsPerHour),
 		replaceAfter: time.Duration(cfg.ReplaceAfterMin) * time.Minute,
 		bucket:       time.Duration(cfg.BucketMin) * time.Minute,
-		epochs:       map[netsim.Endpoint]time.Time{},
+		epochs:       map[netsim.Endpoint]epoch{},
 		flowsTS:      stats.NewTimeSeries(time.Duration(cfg.BucketMin) * time.Minute),
 		latencies:    stats.NewQuantile(0.01),
 		lifetimes:    stats.NewQuantile(0.01),
@@ -455,36 +514,53 @@ func (f *Fleet) build() {
 	}
 	mixRng := rand.New(rand.NewSource(seedfork.Fork(cfg.Seed, "fleet.mix")))
 
+	f.implNames = make([]string, len(cfg.Mix))
+	for k, s := range cfg.Mix {
+		f.implNames[k] = s.Impl
+	}
+	f.implUsers = make([]int64, len(cfg.Mix))
+	f.implServers = make([]int64, len(cfg.Mix))
+	f.implEver = make([]int64, len(cfg.Mix))
+
 	f.servers = make([]serverRec, nServers)
 	f.sargs = make([]srvArg, nServers)
 	for j := range f.servers {
 		draw := mixRng.Float64() * totalW
-		impl := cfg.Mix[len(cfg.Mix)-1]
-		for _, s := range cfg.Mix {
+		implIdx := len(cfg.Mix) - 1
+		for k, s := range cfg.Mix {
 			if draw < s.Weight {
-				impl = s
+				implIdx = k
 				break
 			}
 			draw -= s.Weight
 		}
-		im := implementations[impl.Impl]
-		spec, err := sscrypto.Lookup(im.method)
-		if err != nil {
-			panic(err) // implementations table only names built-in methods
-		}
-		srv, err := reaction.NewServer(im.profile, spec, fmt.Sprintf("fleet-%d", j))
-		if err != nil {
-			panic(err)
+		im := implementations[cfg.Mix[implIdx].Impl]
+		var spec sscrypto.Spec
+		var srv *reaction.Server
+		if im.proto == protoSS {
+			var err error
+			spec, err = sscrypto.Lookup(im.method)
+			if err != nil {
+				panic(err) // implementations table only names built-in methods
+			}
+			srv, err = reaction.NewServer(im.profile, spec, fmt.Sprintf("fleet-%d", j))
+			if err != nil {
+				panic(err)
+			}
 		}
 		ep := f.serverEndpoint()
 		f.servers[j] = serverRec{
-			host:      newServerHost(f, srv, cfg.UsersPerServer, cfg.Hours, cfg.PeakFlowsPerHour),
+			host:      newServerHost(f, srv, im.proto, im.silent, cfg.UsersPerServer, cfg.Hours, cfg.PeakFlowsPerHour),
 			ep:        ep,
 			spec:      spec,
+			wl:        uint8(im.wl),
+			proto:     im.proto,
+			implIdx:   int32(implIdx),
 			activated: netsim.Epoch,
 		}
+		f.implServers[implIdx]++
 		f.sargs[j] = srvArg{f: f, idx: int32(j)}
-		f.epochs[ep] = netsim.Epoch
+		f.epochs[ep] = epoch{at: netsim.Epoch, impl: int32(implIdx)}
 		f.net.AddHost(ep, f.servers[j].host)
 	}
 
@@ -498,10 +574,18 @@ func (f *Fleet) build() {
 		// Small personal jitter, not a uniform 24h shift: the population
 		// shares a timezone, so the aggregate keeps its diurnal shape.
 		u.phaseMin = int16(splitmix(&u.rng)%181) - 90
+		// The BrowseShare draw always happens — keeping the per-user RNG
+		// stream identical across mixes — then non-SS servers override the
+		// workload with their protocol's first-packet shape.
 		u.wl = uint8(trafficgen.CurlLoop)
 		if u.f64() < cfg.BrowseShare {
 			u.wl = uint8(trafficgen.BrowseAlexa)
 		}
+		srv := &f.servers[u.server]
+		if srv.proto != protoSS {
+			u.wl = srv.wl
+		}
+		f.implUsers[srv.implIdx]++
 		f.uargs[i] = userArg{f: f, idx: int32(i)}
 		f.clients[i] = netsim.Endpoint{
 			IP:   fmt.Sprintf("100.%d.%d.%d", 64+i/62500, (i/250)%250, i%250+1),

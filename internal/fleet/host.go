@@ -1,39 +1,60 @@
 package fleet
 
 import (
+	"bytes"
 	"encoding/binary"
 
 	"sslab/internal/bloom"
+	"sslab/internal/defense"
+	"sslab/internal/detector"
 	"sslab/internal/netsim"
 	"sslab/internal/reaction"
 )
 
-// serverHost is the fleet's Shadowsocks server: the same semantics as
-// the experiment package's ServerHost — genuine clients are served and
-// their nonces enter the replay filter; identical replays against a
-// server without replay defense are served with data; everything else
-// gets the reaction engine's verdict — but with O(1) memory. Where
-// ServerHost keys every payload ever seen in an unbounded map, the
-// fleet host remembers payload hashes in a fixed-size Bloom filter
-// sized for the epoch's expected flow count: a false positive
-// (mistaking a fresh probe payload for a replay) is ≪0.1% and only
-// matters for undefended servers, whose genuine replays dominate their
-// evidence anyway.
+// serverHost is the fleet's server endpoint for all protocol families.
+//
+// For Shadowsocks it keeps the experiment package's ServerHost semantics
+// — genuine clients are served and their nonces enter the replay filter;
+// identical replays against a server without replay defense are served
+// with data; everything else gets the reaction engine's verdict — but
+// with O(1) memory. Where ServerHost keys every payload ever seen in an
+// unbounded map, the fleet host remembers payload hashes in a fixed-size
+// Bloom filter sized for the epoch's expected flow count: a false
+// positive (mistaking a fresh probe payload for a replay) is ≪0.1% and
+// only matters for undefended servers, whose genuine replays dominate
+// their evidence anyway.
+//
+// The other protocol families model each deployment's probe posture:
+//
+//   - OpenVPN without tls-auth answers any well-formed client reset
+//     (including a replayed one) and RSTs garbage — the reachable
+//     fingerprint Xue et al. exploited; with tls-auth every
+//     unauthenticated packet is silently dropped, so probes time out.
+//   - obfs2-era transports accept replayed handshakes (data) and close
+//     loudly on malformed input; obfs4-style transports are
+//     probe-silent.
+//   - Web servers answer HTTP and TLS probes like any public site —
+//     responses to probes are normal here, and blocks against them are
+//     false positives.
 type serverHost struct {
-	f    *Fleet
-	srv  *reaction.Server
-	seen *bloom.Filter
-	key  [8]byte
+	f      *Fleet
+	srv    *reaction.Server // Shadowsocks only; nil for other protocols
+	proto  protoKind
+	silent bool
+	seen   *bloom.Filter
+	key    [8]byte
 }
 
 // newServerHost sizes the replay-seen filter for the server's expected
 // epoch traffic: users × hours × peak rate, with headroom.
-func newServerHost(f *Fleet, srv *reaction.Server, usersPerServer, hours int, peakRate float64) *serverHost {
+func newServerHost(f *Fleet, srv *reaction.Server, proto protoKind, silent bool, usersPerServer, hours int, peakRate float64) *serverHost {
 	capacity := int(float64(usersPerServer*hours)*peakRate*1.5) + 64
 	return &serverHost{
-		f:    f,
-		srv:  srv,
-		seen: bloom.New(capacity, 1e-3),
+		f:      f,
+		srv:    srv,
+		proto:  proto,
+		silent: silent,
+		seen:   bloom.New(capacity, 1e-3),
 	}
 }
 
@@ -53,6 +74,9 @@ func (h *serverHost) hashPayload(p []byte) []byte {
 	return h.key[:]
 }
 
+var httpGET = []byte("GET ")
+var httpPOST = []byte("POST ")
+
 // HandleFlow implements netsim.Host.
 //
 //sslab:hotpath
@@ -64,9 +88,47 @@ func (h *serverHost) HandleFlow(fl *netsim.Flow) netsim.Outcome {
 		if fl.FirstPayload == nil {
 			return netsim.Outcome{Reaction: reaction.Timeout}
 		}
-		h.srv.RegisterNonce(fl.FirstPayload, now)
-		h.seen.Add(h.hashPayload(fl.FirstPayload))
+		if h.proto == protoSS {
+			h.srv.RegisterNonce(fl.FirstPayload, now)
+		}
+		if h.proto == protoSS || h.proto == protoObfs {
+			h.seen.Add(h.hashPayload(fl.FirstPayload))
+		}
 		return netsim.Outcome{Reaction: reaction.Data, ResponseLen: 1200}
+	}
+	switch h.proto {
+	case protoOpenVPN:
+		if h.silent {
+			// tls-auth: the HMAC check fails on anything the prober can
+			// synthesize or replay; the server says nothing.
+			return netsim.Outcome{Reaction: reaction.Timeout}
+		}
+		if _, ok := detector.ParseClientReset(fl.FirstPayload); ok {
+			// A well-formed (or replayed) reset elicits the server's own
+			// hard reset — the byte-identifiable reply probes look for.
+			return netsim.Outcome{Reaction: reaction.Data, ResponseLen: 100}
+		}
+		return netsim.Outcome{Reaction: reaction.RST}
+	case protoObfs:
+		if h.silent {
+			return netsim.Outcome{Reaction: reaction.Timeout}
+		}
+		if fl.FirstPayload != nil && h.seen.Test(h.hashPayload(fl.FirstPayload)) {
+			// obfs2 has no replay protection: the replayed handshake
+			// completes and the server answers with data.
+			return netsim.Outcome{Reaction: reaction.Data, ResponseLen: 600}
+		}
+		return netsim.Outcome{Reaction: reaction.FINACK}
+	case protoWeb:
+		if bytes.HasPrefix(fl.FirstPayload, httpGET) || bytes.HasPrefix(fl.FirstPayload, httpPOST) {
+			return netsim.Outcome{Reaction: reaction.Data, ResponseLen: 1200}
+		}
+		if defense.IsTLSFramed(fl.FirstPayload) {
+			return netsim.Outcome{Reaction: reaction.Data, ResponseLen: 1200}
+		}
+		// Garbage at a web port: the HTTP server closes after a parse
+		// error, having read the request.
+		return netsim.Outcome{Reaction: reaction.FINACK}
 	}
 	if fl.FirstPayload != nil && h.seen.Test(h.hashPayload(fl.FirstPayload)) && !h.srv.Profile.ReplayDefense {
 		return netsim.Outcome{Reaction: reaction.Data, ResponseLen: 800}

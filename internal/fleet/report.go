@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"sslab/internal/gfw"
 	"sslab/internal/stats"
 )
 
@@ -51,15 +52,52 @@ type Report struct {
 	ProbeLoad []int64
 	// FlowsPerBucket counts genuine client flows per bucket.
 	FlowsPerBucket stats.TimeSeries
+
+	// PerImpl breaks population outcomes down by server implementation,
+	// in mix order. The campaign flattener keys these rows by Name.
+	PerImpl []ImplStats `json:",omitempty"`
+	// StageRecordings attributes the censor's recorded payloads to the
+	// detector stage that claimed each flow, in chain order.
+	StageRecordings []gfw.StageCount `json:",omitempty"`
+}
+
+// ImplStats is the per-implementation slice of the population outcome.
+type ImplStats struct {
+	Name    string
+	Users   int64
+	Servers int64
+	// EverBlockedUsers counts this implementation's users that observed
+	// blocking at least once; Fraction normalizes by its user count.
+	EverBlockedUsers int64
+	Fraction         float64
+	// Blocks counts endpoint block events against this implementation —
+	// for the web implementation these are false positives.
+	Blocks int64
 }
 
 // report reduces the finished run.
 func (f *Fleet) report() *Report {
-	// Resolve block events to detection latencies against endpoint
-	// activation epochs (both O(blocks); no per-flow state involved).
+	// Resolve block events to detection latencies and per-impl blocks
+	// against endpoint activation epochs (both O(blocks); no per-flow
+	// state involved).
+	implBlocks := make([]int64, len(f.implNames))
 	for _, ev := range f.gfw.BlockEvents {
-		if act, ok := f.epochs[ev.Server]; ok {
-			f.latencies.Observe(ev.Time.Sub(act).Seconds())
+		if e, ok := f.epochs[ev.Server]; ok {
+			f.latencies.Observe(ev.Time.Sub(e.at).Seconds())
+			implBlocks[e.impl]++
+		}
+	}
+	perImpl := make([]ImplStats, len(f.implNames))
+	for k, name := range f.implNames {
+		perImpl[k] = ImplStats{
+			Name:             name,
+			Users:            f.implUsers[k],
+			Servers:          f.implServers[k],
+			EverBlockedUsers: f.implEver[k],
+			Blocks:           implBlocks[k],
+		}
+		if f.implUsers[k] > 0 {
+			perImpl[k].Fraction = float64(f.implEver[k]) / float64(f.implUsers[k])
 		}
 	}
 	r := &Report{
@@ -82,6 +120,8 @@ func (f *Fleet) report() *Report {
 		BlockedCurve:     f.blockedCurve,
 		ProbeLoad:        f.probeLoad,
 		FlowsPerBucket:   *f.flowsTS,
+		PerImpl:          perImpl,
+		StageRecordings:  f.gfw.StageRecordings(),
 	}
 	if f.cfg.Users > 0 {
 		r.BlockedUserFraction = float64(f.everBlocked) / float64(f.cfg.Users)
@@ -122,6 +162,13 @@ func (r *Report) Render() string {
 	fmt.Fprintf(&b, "  users ever blocked: %d (%.2f%%), still cut off at end: %d\n",
 		r.EverBlockedUsers, 100*r.BlockedUserFraction, r.BlockedAtEnd)
 	fmt.Fprintf(&b, "  servers replaced: %d\n", r.Replacements)
+	for _, im := range r.PerImpl {
+		fmt.Fprintf(&b, "    %-13s %6d users / %4d servers: %5.2f%% ever blocked, %d blocks\n",
+			im.Name, im.Users, im.Servers, 100*im.Fraction, im.Blocks)
+	}
+	for _, sc := range r.StageRecordings {
+		fmt.Fprintf(&b, "    stage %-15s recorded %d\n", sc.Name, sc.Recorded)
+	}
 	if r.DetectionLatency.N > 0 {
 		fmt.Fprintf(&b, "  detection latency: p25 %s, median %s, p90 %s (n=%d)\n",
 			fmtDur(r.DetectionLatency.P25), fmtDur(r.DetectionLatency.P50),

@@ -13,10 +13,11 @@ package gfw
 
 import (
 	"math/rand"
+	"slices"
 	"time"
 
 	"sslab/internal/capture"
-	"sslab/internal/defense"
+	"sslab/internal/detector"
 	"sslab/internal/metrics"
 	"sslab/internal/netsim"
 	"sslab/internal/probe"
@@ -59,7 +60,18 @@ type Config struct {
 	// TLSWhitelist models a censor that exempts TLS-framed flows from the
 	// detector to avoid mass-probing the web — the conjecture the FPStudy
 	// motivates and the mechanism application-fronting tools (§8) rely on.
+	// It is sugar for prepending the "tlsexempt" stage to Detectors.
 	TLSWhitelist bool
+	// Detectors names the passive-detector stage chain, in evaluation
+	// order, using internal/detector registry names or their aliases
+	// ("ss", "tls", "ovpn", "fep", ...). Empty selects the classic
+	// single-stage Shadowsocks chain, which leaves every pinned report
+	// byte-identical to the pre-chain pipeline. The winning stage's
+	// confidence is the probability the flow is recorded for active
+	// probing; validate user-supplied chains with
+	// detector.ValidateNames before construction (New panics on unknown
+	// stage names).
+	Detectors []string `json:"Detectors,omitempty"`
 	// ProbeAttempts is how many times a prober re-sends a probe whose
 	// connection the network dropped (netsim.Outcome.Dropped — only
 	// possible over impaired links), default 3. Each retry draws a fresh
@@ -117,12 +129,18 @@ type BlockEvent struct {
 // GFW is the censor model. Create with New, then attach to a network with
 // netsim.Network.AddMiddlebox.
 type GFW struct {
-	cfg  Config
-	sim  *netsim.Sim
-	net  *netsim.Network
-	rng  *rand.Rand
-	det  detector
-	Pool *Pool
+	cfg   Config
+	sim   *netsim.Sim
+	net   *netsim.Network
+	rng   *rand.Rand
+	chain *detector.Chain
+	Pool  *Pool
+
+	// stageRecs counts recordings attributed to each chain stage (the
+	// stage whose confidence won the flow), parallel to chain.Names();
+	// mStageRec are the matching pre-resolved counters.
+	stageRecs []int
+	mStageRec []*metrics.Counter
 
 	// Log records every probe sent, with packet-level fingerprints.
 	Log *capture.Log
@@ -243,9 +261,34 @@ func WithTimeouts(t netsim.Timeouts) Option {
 	return func(c *Config) { c.Timeouts = t }
 }
 
+// WithDetectors sets the passive detector chain (see Config.Detectors).
+// New panics on unknown or duplicate names; validate user input with
+// detector.ValidateNames first.
+func WithDetectors(names []string) Option {
+	return func(c *Config) { c.Detectors = names }
+}
+
+// chainNames resolves the configured detector list to the canonical
+// stage chain: aliases resolved, the Shadowsocks default applied, and
+// TLSWhitelist mapped to a leading tlsexempt stage.
+func (c Config) chainNames() []string {
+	names := make([]string, 0, len(c.Detectors)+1)
+	for _, n := range c.Detectors {
+		names = append(names, detector.Canonical(n))
+	}
+	if len(names) == 0 {
+		names = append(names, detector.StageShadowsocks)
+	}
+	if c.TLSWhitelist && !slices.Contains(names, detector.StageTLSExempt) {
+		names = append([]string{detector.StageTLSExempt}, names...)
+	}
+	return names
+}
+
 // New creates a GFW on env, configured by options over the zero Config
 // (zero values select paper-calibrated defaults). The caller must also
-// register it: env.Net.AddMiddlebox(g).
+// register it: env.Net.AddMiddlebox(g). New panics on unknown detector
+// stage names; validate user input with detector.ValidateNames first.
 func New(env Env, opts ...Option) *GFW {
 	var cfg Config
 	for _, o := range opts {
@@ -254,12 +297,19 @@ func New(env Env, opts ...Option) *GFW {
 	cfg = cfg.withDefaults()
 	sim, net := env.Sim, env.Net
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	return &GFW{
-		cfg: cfg,
-		sim: sim,
-		net: net,
-		rng: rng,
-		det: detector{base: cfg.ReplayBase, ignoreLength: cfg.DisableLengthFeature, ignoreEntropy: cfg.DisableEntropyFeature},
+	chain := detector.MustChain(cfg.chainNames(), detector.Params{
+		Base:           cfg.ReplayBase,
+		DisableLength:  cfg.DisableLengthFeature,
+		DisableEntropy: cfg.DisableEntropyFeature,
+	})
+	g := &GFW{
+		cfg:       cfg,
+		sim:       sim,
+		net:       net,
+		rng:       rng,
+		chain:     chain,
+		stageRecs: make([]int, chain.Len()),
+		mStageRec: make([]*metrics.Counter, chain.Len()),
 		//sslab:allow-seedfork historical +1 offset is baked into the zero-impairment goldens and EXPERIMENTS.md; changing the pool stream would invalidate every pinned report
 		Pool:           NewPool(rand.New(rand.NewSource(cfg.Seed+1)), cfg.PoolSize, sim.Now()),
 		Log:            capture.NewLog(sim.Now()),
@@ -273,6 +323,10 @@ func New(env Env, opts ...Option) *GFW {
 		mProbeRetries:  sim.Metrics.Counter("gfw.probe_retries"),
 		mProbeTimeouts: sim.Metrics.Counter("gfw.probe_timeouts"),
 	}
+	for i, name := range chain.Names() {
+		g.mStageRec[i] = sim.Metrics.Counter("gfw.recorded." + name)
+	}
+	return g
 }
 
 // NewWithConfig creates a GFW from the pre-options positional signature.
@@ -329,6 +383,28 @@ func (g *GFW) RecordedPayloads(server netsim.Endpoint) [][]byte {
 	return s.recordedPays
 }
 
+// DetectorNames returns the canonical detector chain, in evaluation
+// order.
+func (g *GFW) DetectorNames() []string { return g.chain.Names() }
+
+// StageCount is one detector stage's share of the recordings.
+type StageCount struct {
+	// Name is the stage's canonical registry name.
+	Name string
+	// Recorded counts recordings this stage's confidence won.
+	Recorded int
+}
+
+// StageRecordings attributes PayloadsRecorded to the chain stage whose
+// verdict won each flow, in chain order.
+func (g *GFW) StageRecordings() []StageCount {
+	out := make([]StageCount, g.chain.Len())
+	for i, name := range g.chain.Names() {
+		out[i] = StageCount{Name: name, Recorded: g.stageRecs[i]}
+	}
+	return out
+}
+
 // OnFlow implements netsim.Middlebox: passive analysis of a crossing flow.
 //
 //sslab:hotpath
@@ -349,14 +425,12 @@ func (g *GFW) OnFlow(f *netsim.Flow) {
 	if len(f.FirstPayload) == 0 {
 		return
 	}
-	if g.cfg.TLSWhitelist && defense.IsTLSFramed(f.FirstPayload) {
-		return
-	}
-	// A zero probability — the common case for non-Shadowsocks-shaped
-	// traffic — needs no coin flip, and recordProbability itself skips the
-	// entropy pass for it.
-	p := g.det.recordProbability(f.FirstPayload)
-	if p <= 0 || g.rng.Float64() >= p {
+	// The detector chain judges the flow: an Exempt verdict (e.g. the
+	// tlsexempt whitelist stage) or an all-Pass chain — the common case
+	// for unremarkable traffic — needs no coin flip; a Suspect verdict's
+	// confidence is the recording probability.
+	winner, res := g.chain.Observe(f)
+	if res.Verdict != detector.Suspect || g.rng.Float64() >= res.Confidence {
 		return
 	}
 
@@ -365,6 +439,8 @@ func (g *GFW) OnFlow(f *netsim.Flow) {
 	// thousand flows); the payload bytes come from the shared slab.
 	g.PayloadsRecorded++
 	g.mRecorded.Inc()
+	g.stageRecs[winner]++
+	g.mStageRec[winner].Inc()
 	rec := &recording{
 		payload: g.slabCopy(f.FirstPayload),
 		at:      g.sim.Now(),

@@ -14,46 +14,9 @@ import (
 	"sslab/internal/stats"
 )
 
-// --- detector unit tests -------------------------------------------------
-
-func TestLengthWeightSupport(t *testing.T) {
-	for _, n := range []int{0, 1, 100, 159, 1000, 1500} {
-		if w := lengthWeight(n); w != 0 {
-			t.Errorf("lengthWeight(%d) = %v, want 0 (outside Figure 8 support)", n, w)
-		}
-	}
-	if lengthWeight(160) == 0 || lengthWeight(999) == 0 {
-		t.Error("in-support lengths have zero weight")
-	}
-}
-
-func TestLengthWeightRemainders(t *testing.T) {
-	// In 160–263 remainder 9 must dominate; in 384–687 remainder 2.
-	if lengthWeight(169) <= lengthWeight(170) { // 169%16==9
-		t.Error("remainder 9 not privileged in low band")
-	}
-	if lengthWeight(402) <= lengthWeight(403) { // 402%16==2
-		t.Error("remainder 2 not privileged in high band")
-	}
-	// Middle band mixes both.
-	if lengthWeight(265) < 0.5 || lengthWeight(274) < 0.5 { // 265%16=9, 274%16=2
-		t.Error("middle band does not mix remainders 9 and 2")
-	}
-}
-
-// TestEntropyWeightRatio pins Figure 9's headline: H=7.2 is ≈4× H=3.0.
-func TestEntropyWeightRatio(t *testing.T) {
-	ratio := entropyWeight(7.2) / entropyWeight(3.0)
-	if ratio < 3.5 || ratio > 4.5 {
-		t.Errorf("weight(7.2)/weight(3.0) = %.2f, want ≈4", ratio)
-	}
-	if entropyWeight(0) <= 0 {
-		t.Error("zero-entropy payloads must remain replayable (Figure 9 shows all entropies)")
-	}
-	if entropyWeight(8) != 1 {
-		t.Errorf("weight(8) = %v, want 1", entropyWeight(8))
-	}
-}
+// The lengthWeight/entropyWeight unit tests moved to internal/detector
+// with the passive-detector math (the Shadowsocks stage); this file
+// keeps the pipeline-level tests.
 
 // --- delay model ----------------------------------------------------------
 

@@ -1,0 +1,96 @@
+package trafficgen
+
+import (
+	"bytes"
+	"testing"
+
+	"sslab/internal/detector"
+	"sslab/internal/entropy"
+	"sslab/internal/sscrypto"
+)
+
+// TestOpenVPNResetRoundTrip: the generator's resets must parse under the
+// detector's fingerprint — the two packages encode the same wire layout.
+func TestOpenVPNResetRoundTrip(t *testing.T) {
+	g := New(21)
+	for i := 0; i < 50; i++ {
+		for _, auth := range []bool{false, true} {
+			p := g.AppendOpenVPNClientReset(nil, auth)
+			wantLen := ovpnResetPlainLen
+			if auth {
+				wantLen = ovpnResetAuthLen
+			}
+			if len(p) != wantLen {
+				t.Fatalf("auth=%v: len %d, want %d", auth, len(p), wantLen)
+			}
+			r, ok := detector.ParseClientReset(p)
+			if !ok {
+				t.Fatalf("auth=%v: generated reset rejected by detector parser: %x", auth, p)
+			}
+			if r.TLSAuth != auth {
+				t.Errorf("auth=%v: parser saw TLSAuth=%v", auth, r.TLSAuth)
+			}
+			if !bytes.Equal(r.Session[:], p[3:11]) {
+				t.Errorf("auth=%v: session mismatch", auth)
+			}
+		}
+	}
+}
+
+// TestObfsFirstPacketShape: obfs packets must be long, unframed and
+// high-entropy enough to trip the fully-encrypted heuristic.
+func TestObfsFirstPacketShape(t *testing.T) {
+	g := New(22)
+	for i := 0; i < 30; i++ {
+		p := g.AppendObfsFirstPacket(nil)
+		if len(p) < 160 || len(p) >= 900 {
+			t.Fatalf("obfs packet len %d outside [160,900)", len(p))
+		}
+		if h := entropy.Shannon(p); h < 6.5 {
+			t.Errorf("obfs packet entropy %.2f, want >= 6.5", h)
+		}
+	}
+}
+
+// TestWebFirstPacketShape: direct web packets are either printable HTTP
+// or TLS-framed — never something the fully-encrypted stage flags.
+func TestWebFirstPacketShape(t *testing.T) {
+	g := New(23)
+	sawHTTP, sawTLS := false, false
+	for i := 0; i < 60; i++ {
+		p := g.AppendWebFirstPacket(nil)
+		switch {
+		case bytes.HasPrefix(p, []byte("GET ")):
+			sawHTTP = true
+		case len(p) > 5 && p[0] == 0x16 && p[1] == 0x03:
+			sawTLS = true
+		default:
+			t.Fatalf("web packet %d is neither HTTP nor TLS: %x", i, p[:min(16, len(p))])
+		}
+	}
+	if !sawHTTP || !sawTLS {
+		t.Errorf("web mix incomplete: http=%v tls=%v", sawHTTP, sawTLS)
+	}
+}
+
+// TestProtocolDispatch: the dispatcher routes each workload to its
+// protocol and falls back to Shadowsocks wire form for classic workloads.
+func TestProtocolDispatch(t *testing.T) {
+	spec, _ := sscrypto.Lookup("aes-256-gcm")
+
+	p := New(24).AppendProtocolFirstPacket(nil, spec, OpenVPNTCP)
+	if _, ok := detector.ParseClientReset(p); !ok {
+		t.Error("OpenVPNTCP dispatch did not produce a parseable reset")
+	}
+	p = New(24).AppendProtocolFirstPacket(nil, spec, OpenVPNTCPAuth)
+	if r, ok := detector.ParseClientReset(p); !ok || !r.TLSAuth {
+		t.Error("OpenVPNTCPAuth dispatch did not produce a tls-auth reset")
+	}
+
+	// Classic workloads must match AppendFirstWirePacket draw-for-draw.
+	a := New(25).AppendProtocolFirstPacket(nil, spec, CurlLoop)
+	b := New(25).AppendFirstWirePacket(nil, spec, CurlLoop)
+	if !bytes.Equal(a, b) {
+		t.Error("CurlLoop dispatch diverges from AppendFirstWirePacket")
+	}
+}

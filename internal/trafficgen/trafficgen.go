@@ -33,6 +33,20 @@ const (
 	// picks one of https://www.wikipedia.org, http://example.com, and
 	// https://gfw.report.
 	CurlLoop
+	// OpenVPNTCP opens an OpenVPN-over-TCP tunnel: the first packet is a
+	// P_CONTROL_HARD_RESET_CLIENT_V2 with no tls-auth wrapping.
+	OpenVPNTCP
+	// OpenVPNTCPAuth is OpenVPNTCP with tls-auth: the reset carries an
+	// HMAC + replay-protection trailer, and the server silently drops
+	// packets that fail authentication (probe-resistant).
+	OpenVPNTCPAuth
+	// ObfsFirst models an obfs-style fully encrypted transport: the first
+	// packet is uniformly random bytes with no framing at all.
+	ObfsFirst
+	// WebDirect is innocuous direct web traffic — the same HTTP GETs and
+	// TLS ClientHellos the proxied workloads tunnel, sent in the clear.
+	// It is the false-positive yardstick for detector chains.
+	WebDirect
 )
 
 // sites is a stand-in for the Alexa-subset target list.
@@ -170,6 +184,92 @@ func (g *Generator) WireFirstPacket(spec sscrypto.Spec, plaintext []byte) []byte
 // FirstWirePacket is a convenience combining the two steps.
 func (g *Generator) FirstWirePacket(spec sscrypto.Spec, w Workload) []byte {
 	return g.AppendFirstWirePacket(nil, spec, w)
+}
+
+// OpenVPN-over-TCP first-packet layout (RFC-less, from the OpenVPN wire
+// protocol): a 2-byte big-endian length prefix, one opcode/key-id byte
+// (P_CONTROL_HARD_RESET_CLIENT_V2 << 3), an 8-byte random session ID,
+// then — with tls-auth — a 20-byte HMAC, 4-byte replay packet ID and
+// 4-byte net time, and finally an empty ACK array (count byte 0) and a
+// 4-byte message packet ID of 0. These layouts are what Xue et al.
+// ("OpenVPN Is Open to VPN Fingerprinting", USENIX Security 2022) showed
+// censors match on; internal/detector's ParseClientReset accepts exactly
+// these shapes.
+const (
+	ovpnOpcodeHardResetClientV2 = 7
+	ovpnResetPlainLen           = 2 + 1 + 8 + 1 + 4
+	ovpnResetAuthLen            = ovpnResetPlainLen + 20 + 4 + 4
+)
+
+// AppendOpenVPNClientReset appends the first packet of an OpenVPN-over-TCP
+// handshake: a client hard reset, optionally wrapped with tls-auth.
+func (g *Generator) AppendOpenVPNClientReset(dst []byte, tlsAuth bool) []byte {
+	n := ovpnResetPlainLen
+	if tlsAuth {
+		n = ovpnResetAuthLen
+	}
+	start := len(dst)
+	dst = append(slices.Grow(dst, n), zeros[:n]...)
+	p := dst[start:]
+	p[0], p[1] = byte((n-2)>>8), byte(n-2)
+	p[2] = ovpnOpcodeHardResetClientV2 << 3 // key ID 0
+	g.rng.Read(p[3:11])                     // session ID
+	if tlsAuth {
+		g.rng.Read(p[11:31]) // HMAC
+		p[34] = 1            // replay packet ID 1
+		g.rng.Read(p[35:39]) // net time
+	}
+	// Remaining bytes stay zero: empty ACK array, message packet ID 0.
+	return dst
+}
+
+// AppendObfsFirstPacket appends an obfs-style fully encrypted first
+// packet: uniformly random bytes with no framing, no length prefix and
+// no printable prelude — the look-like-nothing shape of obfs2/obfs4 and
+// the post-2021 Shadowsocks-like transports the GFW's fully-encrypted
+// heuristic targets.
+func (g *Generator) AppendObfsFirstPacket(dst []byte) []byte {
+	n := 160 + g.rng.Intn(740)
+	start := len(dst)
+	dst = slices.Grow(dst, n)[:start+n]
+	g.rng.Read(dst[start:])
+	return dst
+}
+
+// AppendWebFirstPacket appends a direct (unproxied) web first packet: the
+// same HTTP GET or TLS ClientHello the tunneled workloads would carry,
+// but with no SOCKS address prefix and no encryption layer. This is the
+// innocuous-traffic baseline detector chains are scored against for
+// false positives.
+func (g *Generator) AppendWebFirstPacket(dst []byte) []byte {
+	target := g.Target(CurlLoop)
+	addr, err := socks.ParseAddr(target)
+	if err != nil {
+		panic(err)
+	}
+	if addr.Port == 80 {
+		return g.appendHTTPGET(dst, addr.Host)
+	}
+	return g.appendClientHello(dst, addr.Host)
+}
+
+// AppendProtocolFirstPacket appends the first wire packet for any
+// workload: protocol-native packets for the OpenVPN, obfs and direct-web
+// workloads, and Shadowsocks wire form (via spec) for everything else.
+// Shadowsocks callers keep their exact pre-existing draw order.
+func (g *Generator) AppendProtocolFirstPacket(dst []byte, spec sscrypto.Spec, w Workload) []byte {
+	switch w {
+	case OpenVPNTCP:
+		return g.AppendOpenVPNClientReset(dst, false)
+	case OpenVPNTCPAuth:
+		return g.AppendOpenVPNClientReset(dst, true)
+	case ObfsFirst:
+		return g.AppendObfsFirstPacket(dst)
+	case WebDirect:
+		return g.AppendWebFirstPacket(dst)
+	default:
+		return g.AppendFirstWirePacket(dst, spec, w)
+	}
 }
 
 // AppendFirstWirePacket appends a complete first wire packet to dst and

@@ -30,6 +30,7 @@
 package sslab
 
 import (
+	"sslab/internal/detector"
 	"sslab/internal/experiment"
 	"sslab/internal/gfw"
 	"sslab/internal/metrics"
@@ -135,6 +136,8 @@ type (
 	// RobustnessConfig scales the impairment-robustness study (which
 	// paper observations survive a lossy, jittery path).
 	RobustnessConfig = experiment.RobustnessConfig
+	// ArmsRaceConfig scales the detector-chain × protocol-mix sweep.
+	ArmsRaceConfig = experiment.ArmsRaceConfig
 )
 
 // Implementation profiles the paper studied, plus the hardened reference.
@@ -191,6 +194,23 @@ func WithLink(srcIP, dstIP string, profile LinkProfile) NetworkOption {
 // WithCensorConfig replaces the censor's whole configuration; later
 // options still apply on top.
 func WithCensorConfig(cfg GFWConfig) CensorOption { return gfw.WithConfig(cfg) }
+
+// WithDetectors selects the censor's detector chain by stage name.
+// Aliases are accepted ("ss" for shadowsocks, "tls" for tlsexempt,
+// "ovpn"/"vpn" for openvpn, "fep"/"obfs" for fullyencrypted); chain
+// order does not affect verdicts. It panics on an unknown or duplicate
+// stage — chains are static configuration, and a typo should fail the
+// run, not quietly weaken the censor. Use DetectorNames for the valid
+// set.
+func WithDetectors(names ...string) CensorOption {
+	if err := detector.ValidateNames(names); err != nil {
+		panic(err)
+	}
+	return gfw.WithDetectors(names)
+}
+
+// DetectorNames returns the registered detector stage names, sorted.
+func DetectorNames() []string { return detector.Names() }
 
 // NewCensor attaches a censor model to a simulated environment and
 // registers it on the network.
@@ -261,6 +281,13 @@ func RunProbeCost(cfg ProbeCostConfig) (*experiment.ProbeCostReport, error) {
 // and reports which headline observations survive an impaired path.
 func RunRobustness(cfg RobustnessConfig) (*experiment.RobustnessReport, error) {
 	return experiment.Robustness(cfg)
+}
+
+// RunArmsRace races detector chains against a multi-protocol server
+// population: per-chain blocked-user fractions, detection latency, and
+// false positives on innocuous web traffic.
+func RunArmsRace(cfg ArmsRaceConfig) (*experiment.ArmsRaceReport, error) {
+	return experiment.ArmsRace(cfg)
 }
 
 // Probe sends one payload to a live server and classifies the reaction
