@@ -1,0 +1,74 @@
+package detector
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestFingerprintShortPayloads: every payload under 8 bytes takes the
+// per-byte path; distinct short payloads (including length-only
+// differences) must not collide across the whole space of 1-byte and
+// common 2-byte inputs.
+func TestFingerprintShortPayloads(t *testing.T) {
+	seen := map[uint64][]byte{}
+	check := func(p []byte) {
+		t.Helper()
+		fp := Fingerprint(p)
+		if prev, dup := seen[fp]; dup {
+			t.Fatalf("collision: % x and % x -> %#x", prev, p, fp)
+		}
+		seen[fp] = append([]byte(nil), p...)
+	}
+	check(nil)
+	for b := 0; b < 256; b++ {
+		check([]byte{byte(b)})
+	}
+	for b := 0; b < 256; b++ {
+		check([]byte{0, byte(b)})
+		check([]byte{byte(b), 0, 0})
+	}
+}
+
+// TestFingerprintLengthSensitive: two payloads sharing a prefix and the
+// final word but differing in length must fingerprint differently (the
+// length is mixed in first).
+func TestFingerprintLengthSensitive(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := make([]byte, 1000)
+	for i := range p {
+		p[i] = byte(rng.Intn(256))
+	}
+	fps := map[uint64]int{}
+	for n := 8; n <= 1000; n++ {
+		fp := Fingerprint(p[:n])
+		if prev, dup := fps[fp]; dup {
+			t.Fatalf("lengths %d and %d collide", prev, n)
+		}
+		fps[fp] = n
+	}
+}
+
+// TestScratchFingerprintMemoized: the scratch-level memo must equal the
+// package function, be computed once per reset, and be invalidated by
+// reset like the entropy memo.
+func TestScratchFingerprintMemoized(t *testing.T) {
+	var sc Scratch
+	a := []byte("the first payload of flow A, long enough to sample")
+	b := []byte("flow B's very different first payload")
+
+	sc.reset(a)
+	if got, want := sc.Fingerprint(), Fingerprint(a); got != want {
+		t.Fatalf("scratch fingerprint %#x != package fingerprint %#x", got, want)
+	}
+	first := sc.Fingerprint()
+	if first != Fingerprint(a) || !sc.fpOK {
+		t.Fatal("repeated call recomputed or lost the memo")
+	}
+	sc.reset(b)
+	if sc.fpOK {
+		t.Fatal("reset did not invalidate the fingerprint memo")
+	}
+	if got, want := sc.Fingerprint(), Fingerprint(b); got != want {
+		t.Fatalf("after reset: scratch %#x != package %#x", got, want)
+	}
+}

@@ -269,6 +269,12 @@ type Fleet struct {
 
 	tg      *trafficgen.Generator
 	scratch []byte
+	// specBuf/outBuf feed wake()'s batched flow submission: the spec
+	// references f.scratch, and the outcome slice is reused per wake, so
+	// the flow path allocates nothing in steady state (the scalar
+	// Connect path allocated one netsim.Flow per wake-up).
+	specBuf [1]netsim.FlowSpec
+	outBuf  []netsim.Outcome
 	end     time.Time
 
 	meanGap      time.Duration
@@ -337,8 +343,10 @@ func runUserWake(x any) {
 }
 
 // wake is the per-user hot path: chain the next wake-up, thin by the
-// diurnal curve, then (if active) emit one flow and account its
-// outcome. Steady state allocates only the netsim Flow.
+// diurnal curve, then (if active) emit one flow through the batched
+// ingestion path and account its outcome. Steady state allocates
+// nothing: the flow lives in the network's batch arena instead of one
+// netsim.Flow heap allocation per wake-up.
 //
 //sslab:hotpath
 func (f *Fleet) wake(a *userArg) {
@@ -358,7 +366,9 @@ func (f *Fleet) wake(a *userArg) {
 
 	srv := &f.servers[u.server]
 	f.scratch = f.tg.AppendProtocolFirstPacket(f.scratch[:0], srv.spec, trafficgen.Workload(u.wl))
-	out := f.net.Connect(f.clients[a.idx], srv.ep, f.scratch, false, time.Time{})
+	f.specBuf[0] = netsim.FlowSpec{Client: f.clients[a.idx], Server: srv.ep, FirstPayload: f.scratch}
+	f.outBuf = f.net.ConnectBatch(f.specBuf[:], f.outBuf[:0])
+	out := f.outBuf[0]
 	f.flows++
 	f.mFlows.Inc()
 	f.flowsTS.Add(now.Sub(netsim.Epoch), 1)
@@ -484,6 +494,7 @@ func Run(cfg Config) (*Report, error) {
 		gfw:          g,
 		wheel:        netsim.NewWheel(sim),
 		tg:           trafficgen.New(seedfork.Fork(cfg.Seed, "fleet.trafficgen")),
+		outBuf:       make([]netsim.Outcome, 0, 1),
 		end:          netsim.Epoch.Add(time.Duration(cfg.Hours) * time.Hour),
 		meanGap:      time.Duration(float64(time.Hour) / cfg.PeakFlowsPerHour),
 		replaceAfter: time.Duration(cfg.ReplaceAfterMin) * time.Minute,

@@ -1,0 +1,113 @@
+// The verdict cache is the censor's "muscle" tier: a fixed-size,
+// set-associative memo of the detector chain's judgment, sitting in
+// front of the "brain" (the full stage walk). The chain is a
+// deterministic pure function of a flow's first payload, so a cache hit
+// may return the memoized (winner, Result) without re-walking the
+// stages — the expensive per-flow work (entropy pass, per-stage
+// feature extraction) runs only for payloads the censor has not seen
+// at that endpoint before. The single rng.Float64 draw on Suspect
+// verdicts stays in OnFlow, after the cache, so enabling the cache
+// changes no RNG draw order and every pinned golden report stays
+// byte-identical.
+
+package gfw
+
+import (
+	"sslab/internal/detector"
+	"sslab/internal/metrics"
+	"sslab/internal/netsim"
+)
+
+// cacheWays is the set associativity. Four ways absorb the common
+// collision pattern (a handful of hot payload lengths hashing into one
+// set) without a second hash function.
+const cacheWays = 4
+
+// cacheEntry is one memoized chain verdict. The fingerprint alone
+// indexes the set; fingerprint plus server endpoint must match in full
+// for a hit, so two servers seeing the same payload do not share an
+// entry (stages may, in principle, consult flow metadata).
+type cacheEntry struct {
+	fp     uint64
+	server netsim.Endpoint
+	winner int32
+	valid  bool
+	res    detector.Result
+}
+
+// verdictCache is a fixed-capacity, cacheWays-way set-associative
+// verdict memo with per-set round-robin eviction. It is sized at
+// construction and never grows, so fleet-scale runs have a hard memory
+// bound regardless of how many distinct payloads cross the censor.
+type verdictCache struct {
+	sets    []cacheEntry // len = numSets * cacheWays
+	cursors []uint8      // per-set round-robin eviction cursor
+	mask    uint64       // numSets - 1 (numSets is a power of two)
+
+	hits      int64
+	misses    int64
+	evictions int64
+
+	mHits      *metrics.Counter
+	mMisses    *metrics.Counter
+	mEvictions *metrics.Counter
+}
+
+// newVerdictCache builds a cache with at least `entries` slots, rounded
+// up so the set count is a power of two (minimum one set).
+func newVerdictCache(entries int, reg *metrics.Registry) *verdictCache {
+	numSets := 1
+	for numSets*cacheWays < entries {
+		numSets <<= 1
+	}
+	return &verdictCache{
+		sets:       make([]cacheEntry, numSets*cacheWays),
+		cursors:    make([]uint8, numSets),
+		mask:       uint64(numSets - 1),
+		mHits:      reg.Counter("gfw.cache.hits"),
+		mMisses:    reg.Counter("gfw.cache.misses"),
+		mEvictions: reg.Counter("gfw.cache.evictions"),
+	}
+}
+
+// lookup probes the cache for (server, fp). On a hit it returns the
+// memoized winner and result.
+//
+//sslab:hotpath
+func (c *verdictCache) lookup(server netsim.Endpoint, fp uint64) (int, detector.Result, bool) {
+	base := int(fp&c.mask) * cacheWays
+	for i := base; i < base+cacheWays; i++ {
+		e := &c.sets[i]
+		if e.valid && e.fp == fp && e.server == server {
+			c.hits++
+			c.mHits.Inc()
+			return int(e.winner), e.res, true
+		}
+	}
+	c.misses++
+	c.mMisses.Inc()
+	return 0, detector.Result{}, false
+}
+
+// insert memoizes a chain verdict, filling an invalid way if one exists
+// and otherwise evicting at the set's round-robin cursor.
+//
+//sslab:hotpath
+func (c *verdictCache) insert(server netsim.Endpoint, fp uint64, winner int, res detector.Result) {
+	set := int(fp & c.mask)
+	base := set * cacheWays
+	slot := -1
+	for i := base; i < base+cacheWays; i++ {
+		if !c.sets[i].valid {
+			slot = i
+			break
+		}
+	}
+	if slot < 0 {
+		slot = base + int(c.cursors[set])
+		c.cursors[set] = (c.cursors[set] + 1) % cacheWays
+		c.evictions++
+		c.mEvictions.Inc()
+	}
+	c.sets[slot] = cacheEntry{fp: fp, server: server, winner: int32(winner), valid: true, res: res}
+}

@@ -91,6 +91,15 @@ type Config struct {
 	// counters, BlockEvents and per-server state are unaffected. The
 	// zero value keeps the log, so existing experiments are unchanged.
 	NoProbeLog bool `json:"NoProbeLog,omitzero"`
+	// VerdictCache, when positive, enables the verdict-cache tier with
+	// at least that many entries (rounded up to a power-of-two set
+	// count; see cache.go). The cache memoizes the detector chain's
+	// (winner, Result) keyed on (server endpoint, 64-bit payload
+	// fingerprint); the chain is a deterministic pure function of the
+	// flow, and the recording coin flip stays outside the cache, so
+	// results — and every pinned golden — are unchanged; only
+	// gfw.cache.* counters and speed differ. Zero disables the tier.
+	VerdictCache int `json:"VerdictCache,omitzero"`
 }
 
 func (c Config) withDefaults() Config {
@@ -134,6 +143,7 @@ type GFW struct {
 	net   *netsim.Network
 	rng   *rand.Rand
 	chain *detector.Chain
+	cache *verdictCache
 	Pool  *Pool
 
 	// stageRecs counts recordings attributed to each chain stage (the
@@ -145,7 +155,17 @@ type GFW struct {
 	// Log records every probe sent, with packet-level fingerprints.
 	Log *capture.Log
 
+	// servers holds per-suspect probing state, materialized lazily at a
+	// server's first recording (or first probe); merely sending flows
+	// never creates an entry, so the map is bounded by the number of
+	// servers the censor actually suspects, not by the population.
 	servers map[netsim.Endpoint]*serverState
+
+	// profiles tracks the lightweight first-packet length profile for
+	// NR1 qualification. Unlike servers it is fed by every
+	// payload-bearing flow (the profile must exist before any
+	// recording), but each entry is a few words, not a probing state.
+	profiles map[netsim.Endpoint]*lenProfile
 
 	// slab backs recorded payload copies: recordings reference capped
 	// sub-slices of large chunks instead of one heap allocation per
@@ -190,9 +210,6 @@ type GFW struct {
 // probing system operates in stages").
 type serverState struct {
 	stage         int // 1: R1/R2/NR2; 2: adds R3/R4 (+rare R5/R6)
-	lenTotal      int // flows observed
-	lenInRange    int // flows whose first packet was 160-700 bytes
-	ssLikeLatch   *bool
 	dataResponses int // probes the server answered with data
 	fpScore       float64
 	blocked       bool
@@ -203,23 +220,45 @@ type serverState struct {
 	recordedPays [][]byte // payloads recorded from this server's flows
 }
 
+// ssLikeFrac is the calibrated NR1 discriminator threshold: the fraction
+// of a server's payload-bearing first packets that must fall in 160–700
+// bytes before its traffic is judged Shadowsocks-like. 63% sits between
+// real Shadowsocks handshakes (nearly all in range) and uniform random
+// lengths (~54% in 1–1000, ~27% in 1–2000); see DESIGN.md.
+const ssLikeFrac = 0.63
+
+// lenProfile is a server's first-packet length profile, fed by every
+// payload-bearing flow. Only flows that carried a first payload count:
+// empty first flights (dropped or impaired connections) say nothing
+// about the server's handshake lengths and must not dilute the
+// denominator — with the judgment latched at NR1MinFlows, dilution
+// could permanently misclassify a genuine Shadowsocks server.
+type lenProfile struct {
+	total   int32 // payload-bearing flows observed
+	inRange int32 // flows whose first packet was 160-700 bytes
+	latch   int8  // 0: not yet judged; +1: ss-like; -1: not
+}
+
 // ssLike reports whether the server's traffic looks like Shadowsocks:
 // first-packet lengths concentrated where real Shadowsocks handshakes
-// land (at least ~60% in 160–700 bytes, versus ~54% for uniform random
-// lengths in 1–1000 and ~27% in 1–2000). The judgment is made once, after
-// minFlows observations, and latched. This is the discriminator that
-// explains why NR1 probes appeared in the Shadowsocks experiments but
-// never in the uniform-random-length experiments of §4 (see DESIGN.md).
-func (s *serverState) ssLike(minFlows int) bool {
-	if s.ssLikeLatch != nil {
-		return *s.ssLikeLatch
+// land (at least ssLikeFrac = 63% in 160–700 bytes). The judgment is
+// made once, after minFlows observations, and latched. This is the
+// discriminator that explains why NR1 probes appeared in the
+// Shadowsocks experiments but never in the uniform-random-length
+// experiments of §4 (see DESIGN.md).
+func (p *lenProfile) ssLike(minFlows int) bool {
+	if p.latch != 0 {
+		return p.latch > 0
 	}
-	if s.lenTotal < minFlows {
+	if int(p.total) < minFlows {
 		return false
 	}
-	v := float64(s.lenInRange) >= 0.63*float64(s.lenTotal)
-	s.ssLikeLatch = &v
-	return v
+	if float64(p.inRange) >= ssLikeFrac*float64(p.total) {
+		p.latch = 1
+		return true
+	}
+	p.latch = -1
+	return false
 }
 
 // Env is the simulation substrate a GFW attaches to: the event
@@ -268,6 +307,13 @@ func WithDetectors(names []string) Option {
 	return func(c *Config) { c.Detectors = names }
 }
 
+// WithVerdictCache enables the verdict-cache tier with at least the
+// given number of entries (see Config.VerdictCache). Zero or negative
+// disables it.
+func WithVerdictCache(entries int) Option {
+	return func(c *Config) { c.VerdictCache = entries }
+}
+
 // chainNames resolves the configured detector list to the canonical
 // stage chain: aliases resolved, the Shadowsocks default applied, and
 // TLSWhitelist mapped to a leading tlsexempt stage.
@@ -314,6 +360,7 @@ func New(env Env, opts ...Option) *GFW {
 		Pool:           NewPool(rand.New(rand.NewSource(cfg.Seed+1)), cfg.PoolSize, sim.Now()),
 		Log:            capture.NewLog(sim.Now()),
 		servers:        map[netsim.Endpoint]*serverState{},
+		profiles:       map[netsim.Endpoint]*lenProfile{},
 		mTriggers:      sim.Metrics.Counter("gfw.triggers"),
 		mRecorded:      sim.Metrics.Counter("gfw.payloads_recorded"),
 		mProbes:        sim.Metrics.Counter("gfw.probes_sent"),
@@ -325,6 +372,9 @@ func New(env Env, opts ...Option) *GFW {
 	}
 	for i, name := range chain.Names() {
 		g.mStageRec[i] = sim.Metrics.Counter("gfw.recorded." + name)
+	}
+	if cfg.VerdictCache > 0 {
+		g.cache = newVerdictCache(cfg.VerdictCache, sim.Metrics)
 	}
 	return g
 }
@@ -356,6 +406,11 @@ func (g *GFW) slabCopy(p []byte) []byte {
 	return g.slab[start:len(g.slab):len(g.slab)]
 }
 
+// state returns (materializing on first use) the per-suspect probing
+// state. It is called only from the recording branch of onFlow and from
+// the probe paths — never for a flow that merely crosses the border —
+// so a server enters the map only once the censor actually suspects it.
+// Materialization draws no RNG, so laziness is invisible to goldens.
 func (g *GFW) state(server netsim.Endpoint) *serverState {
 	s, ok := g.servers[server]
 	if !ok {
@@ -364,6 +419,25 @@ func (g *GFW) state(server netsim.Endpoint) *serverState {
 	}
 	return s
 }
+
+// profile returns (materializing on first use) the server's first-packet
+// length profile.
+//
+//sslab:hotpath
+func (g *GFW) profile(server netsim.Endpoint) *lenProfile {
+	p, ok := g.profiles[server]
+	if !ok {
+		p = &lenProfile{}
+		g.profiles[server] = p
+	}
+	return p
+}
+
+// SuspectedServers returns how many servers have materialized probing
+// state — the size of the lazily-populated servers map, bounded by the
+// servers the censor has actually recorded or probed rather than by
+// every endpoint that ever sent a flow.
+func (g *GFW) SuspectedServers() int { return len(g.servers) }
 
 // Stage returns the probing stage for a server (0 if never suspected).
 func (g *GFW) Stage(server netsim.Endpoint) int {
@@ -409,34 +483,65 @@ func (g *GFW) StageRecordings() []StageCount {
 //
 //sslab:hotpath
 func (g *GFW) OnFlow(f *netsim.Flow) {
+	g.onFlow(f)
+}
+
+// OnFlowBatch implements netsim.BatchMiddlebox: the batched ingestion
+// path the fleet engine feeds. Each flow gets exactly the same passive
+// analysis, in slice order, as it would through OnFlow, so batch and
+// scalar delivery are observationally identical (pinned by the netsim
+// equivalence tests and TestGoldenCrossCheck). The flows live in the
+// network's reused batch arena and are valid only for the duration of
+// the call; the recording branch already slab-copies any payload it
+// keeps.
+//
+//sslab:hotpath
+func (g *GFW) OnFlowBatch(fs []netsim.Flow) {
+	for i := range fs {
+		g.onFlow(&fs[i])
+	}
+}
+
+// onFlow is the shared scalar/batch passive-analysis path.
+//
+//sslab:hotpath
+func (g *GFW) onFlow(f *netsim.Flow) {
 	if f.Probe {
 		return // the censor does not re-analyze its own probes
 	}
 	g.Triggers++
 	g.mTriggers.Inc()
-	s := g.state(f.Server)
 
-	// Track the first-packet length profile for NR1 qualification.
-	s.lenTotal++
-	if n := len(f.FirstPayload); n >= 160 && n <= 700 {
-		s.lenInRange++
-	}
-
+	// Payload-less flows (dropped or impaired connections, empty first
+	// flights) carry no signal: they must not feed the length profile —
+	// the latched NR1 judgment would be permanently diluted — and give
+	// the detector chain nothing to judge.
 	if len(f.FirstPayload) == 0 {
 		return
 	}
+
+	// Track the first-packet length profile for NR1 qualification.
+	p := g.profile(f.Server)
+	p.total++
+	if n := len(f.FirstPayload); n >= 160 && n <= 700 {
+		p.inRange++
+	}
+
 	// The detector chain judges the flow: an Exempt verdict (e.g. the
 	// tlsexempt whitelist stage) or an all-Pass chain — the common case
 	// for unremarkable traffic — needs no coin flip; a Suspect verdict's
 	// confidence is the recording probability.
-	winner, res := g.chain.Observe(f)
+	winner, res := g.PassiveVerdict(f)
 	if res.Verdict != detector.Suspect || g.rng.Float64() >= res.Confidence {
 		return
 	}
 
 	// Record the payload and schedule a batch of probes derived from it.
 	// The recording and its probe tasks are off the hot path (a few per
-	// thousand flows); the payload bytes come from the shared slab.
+	// thousand flows); the payload bytes come from the shared slab, and
+	// this is the first point at which the server's probing state — and
+	// its servers-map entry — comes into existence.
+	s := g.state(f.Server)
 	g.PayloadsRecorded++
 	g.mRecorded.Inc()
 	g.stageRecs[winner]++
@@ -451,6 +556,37 @@ func (g *GFW) OnFlow(f *netsim.Flow) {
 	for i := 0; i < n; i++ {
 		g.sim.AfterCall(sampleDelay(g.rng), runProbeTask, g.newProbeTask(f.Server, rec))
 	}
+}
+
+// PassiveVerdict runs the censor's passive pipeline on one flow and
+// returns the winning stage index and combined result, going through
+// the verdict cache when one is configured. It performs no RNG draws
+// and no recording — it is the deterministic "is this suspicious, and
+// how confident" half of onFlow, exported so benchmarks and
+// equivalence tests can drive the cache directly.
+//
+//sslab:hotpath
+func (g *GFW) PassiveVerdict(f *netsim.Flow) (int, detector.Result) {
+	if g.cache == nil {
+		return g.chain.Observe(f)
+	}
+	fp := detector.Fingerprint(f.FirstPayload)
+	if winner, res, ok := g.cache.lookup(f.Server, fp); ok {
+		return winner, res
+	}
+	winner, res := g.chain.Observe(f)
+	g.cache.insert(f.Server, fp, winner, res)
+	return winner, res
+}
+
+// CacheStats reports the verdict cache's hit/miss/eviction totals (all
+// zero when the cache is disabled). The same numbers are exported as
+// the gfw.cache.* metrics counters.
+func (g *GFW) CacheStats() (hits, misses, evictions int64) {
+	if g.cache == nil {
+		return 0, 0, 0
+	}
+	return g.cache.hits, g.cache.misses, g.cache.evictions
 }
 
 // probeTask carries the arguments of one scheduled probe through the
@@ -567,7 +703,7 @@ func (g *GFW) chooseType(stage int, ssLike bool) probe.Type {
 //sslab:hotpath
 func (g *GFW) sendProbe(server netsim.Endpoint, rec *recording) {
 	s := g.state(server)
-	typ := g.chooseType(s.stage, s.ssLike(g.cfg.NR1MinFlows))
+	typ := g.chooseType(s.stage, g.profile(server).ssLike(g.cfg.NR1MinFlows))
 	var replayOf time.Time
 	payload := probe.Build(typ, rec.payload, g.rng)
 	if typ.Replay() {

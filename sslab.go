@@ -72,6 +72,9 @@ type (
 	Sim = netsim.Sim
 	// Network is the simulated network the GFW sits on.
 	Network = netsim.Network
+	// Endpoint names one simulated host address (IP, port) — the key the
+	// network, the censor's caches and the blocking rules all share.
+	Endpoint = netsim.Endpoint
 	// Metrics is the deterministic counter/gauge/histogram registry the
 	// simulator, censor and servers report into.
 	Metrics = metrics.Registry
@@ -208,6 +211,14 @@ func WithDetectors(names ...string) CensorOption {
 	}
 	return gfw.WithDetectors(names)
 }
+
+// WithVerdictCache enables the censor's verdict-cache fast path with at
+// least the given number of entries: the detector chain's deterministic
+// judgment is memoized per (server endpoint, payload fingerprint), so
+// repeated traffic skips the full stage walk. Verdicts — and therefore
+// reports — are unchanged; only the gfw.cache.* counters and throughput
+// differ. Zero or negative disables the tier (the default).
+func WithVerdictCache(entries int) CensorOption { return gfw.WithVerdictCache(entries) }
 
 // DetectorNames returns the registered detector stage names, sorted.
 func DetectorNames() []string { return detector.Names() }
