@@ -42,6 +42,7 @@ func main() {
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to FILE (go tool pprof format)")
 		memProf  = flag.String("memprofile", "", "write a heap profile to FILE at exit")
 		list     = flag.Bool("list", false, "list registered experiments with descriptions and exit")
+		workers  = flag.Int("workers", 0, "intra-run worker pool for experiments that support it (fleet, armsrace); 0 = all cores; reports are byte-identical for any value")
 	)
 	flag.Parse()
 
@@ -83,7 +84,13 @@ func main() {
 		if *exp != "all" && *exp != r.Name() {
 			continue
 		}
-		rep, err := r.Run(r.Config(*seed, *full))
+		var rep experiment.Report
+		var err error
+		if wr, ok := r.(experiment.WorkersRunner); ok {
+			rep, err = wr.RunWorkers(r.Config(*seed, *full), *workers)
+		} else {
+			rep, err = r.Run(r.Config(*seed, *full))
+		}
 		if err != nil {
 			log.Fatalf("%s experiment: %v", r.Name(), err)
 		}

@@ -7,9 +7,9 @@
 // Usage:
 //
 //	sslab-sweep -experiment shadowsocks -seeds 1..8 [-workers 8]
-//	            [-grid GFW.PoolSize=4000,8000] [-set Days=30] [-full]
-//	            [-out DIR] [-resume] [-json] [-metrics]
-//	            [-cpuprofile FILE] [-memprofile FILE] [-list]
+//	            [-run-workers N] [-grid GFW.PoolSize=4000,8000]
+//	            [-set Days=30] [-full] [-out DIR] [-resume] [-json]
+//	            [-metrics] [-cpuprofile FILE] [-memprofile FILE] [-list]
 //
 // -list prints the sweepable experiments with one-line descriptions
 // and exits.
@@ -54,6 +54,7 @@ func main() {
 		expName  = flag.String("experiment", "", "experiment to sweep (one of "+strings.Join(experiment.Names(), ", ")+")")
 		seedList = flag.String("seeds", "1..8", "seed list: comma-separated integers and A..B ranges")
 		workers  = flag.Int("workers", 0, "worker pool size (default GOMAXPROCS); does not affect results")
+		runWork  = flag.Int("run-workers", 0, "intra-run worker pool per shard for experiments that support it (fleet, armsrace; default 1); does not affect results")
 		full     = flag.Bool("full", false, "paper scale instead of the fast default")
 		outDir   = flag.String("out", "", "checkpoint directory (spec.json, shards.jsonl, merged.json)")
 		resume   = flag.Bool("resume", false, "reuse finished shards checkpointed in -out")
@@ -152,6 +153,7 @@ func main() {
 	}
 	rep, err := campaign.Run(spec, campaign.Options{
 		Workers:    *workers,
+		RunWorkers: *runWork,
 		Dir:        *outDir,
 		Resume:     *resume,
 		OnProgress: progress,

@@ -1,6 +1,8 @@
 package sslab_test
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"time"
 
@@ -74,6 +76,35 @@ func ExampleWithDetectors() {
 	// Output:
 	// chain: [shadowsocks openvpn fullyencrypted tlsexempt]
 	// registered stages: [fullyencrypted openvpn shadowsocks tlsexempt]
+}
+
+// ExampleRunFleet runs a population-scale fleet split into four
+// space shards and demonstrates the execution-option contract:
+// FleetConfig (including Shards) is science and pins the report's
+// bytes, while WithWorkers is execution and only changes wall-clock
+// time — a fully parallel run reproduces the sequential run exactly.
+func ExampleRunFleet() {
+	cfg := sslab.FleetConfig{
+		Seed: 1, Users: 500, UsersPerServer: 25,
+		Hours: 6, BucketMin: 30, Shards: 4,
+	}
+	sequential, err := sslab.RunFleet(cfg, sslab.WithWorkers(1))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	parallel, err := sslab.RunFleet(cfg, sslab.WithWorkers(4))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	a, _ := json.Marshal(sequential)
+	b, _ := json.Marshal(parallel)
+	fmt.Println("users:", sequential.Users, "servers:", sequential.Servers)
+	fmt.Println("parallel report byte-identical:", bytes.Equal(a, b))
+	// Output:
+	// users: 500 servers: 20
+	// parallel report byte-identical: true
 }
 
 // ExampleRunReactionMatrices regenerates one Figure 10b fingerprint: the

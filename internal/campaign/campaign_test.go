@@ -318,7 +318,7 @@ func TestApplyParamsErrorNamesExperiment(t *testing.T) {
 		Seeds:      []int64{1},
 		Base:       []Param{{Key: "GFW.NoSuchKnob", Value: "7"}},
 	}
-	_, err := runRegistered(spec, Shard{Experiment: "blocking", Seed: 1})
+	_, err := runRegistered(spec, Shard{Experiment: "blocking", Seed: 1}, 0)
 	if err == nil {
 		t.Fatal("bad base override accepted")
 	}

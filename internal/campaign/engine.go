@@ -17,6 +17,13 @@ type Options struct {
 	// Workers bounds the goroutine pool (default: GOMAXPROCS). The
 	// merged report does not depend on it.
 	Workers int
+	// RunWorkers bounds each shard's *intra-run* worker pool, for
+	// experiments whose runner implements experiment.WorkersRunner
+	// (fleet, armsrace); other experiments ignore it. Zero keeps each
+	// run single-threaded, so sweep- and run-level parallelism don't
+	// multiply by accident. Like Workers, it never changes the merged
+	// report's bytes.
+	RunWorkers int
 	// Dir is the checkpoint directory; empty disables checkpointing.
 	Dir string
 	// Resume reuses finished shard results found in Dir.
@@ -47,7 +54,7 @@ func Run(spec Spec, opt Options) (*MergedReport, error) {
 		if _, ok := experiment.Lookup(spec.Experiment); !ok {
 			return nil, fmt.Errorf("campaign: unknown experiment %q (valid: %v)", spec.Experiment, experiment.Names())
 		}
-		runShard = func(s Shard) (json.RawMessage, error) { return runRegistered(spec, s) }
+		runShard = func(s Shard) (json.RawMessage, error) { return runRegistered(spec, s, opt.RunWorkers) }
 	}
 	shards := spec.Shards()
 
@@ -154,8 +161,9 @@ func Run(spec Spec, opt Options) (*MergedReport, error) {
 }
 
 // runRegistered builds the shard's config from the registry (seed,
-// scale, base overrides, then the grid point) and runs it.
-func runRegistered(spec Spec, s Shard) (json.RawMessage, error) {
+// scale, base overrides, then the grid point) and runs it, threading
+// the intra-run worker bound through to runners that support one.
+func runRegistered(spec Spec, s Shard, runWorkers int) (json.RawMessage, error) {
 	r, ok := experiment.Lookup(s.Experiment)
 	if !ok {
 		return nil, fmt.Errorf("unknown experiment %q", s.Experiment)
@@ -167,7 +175,16 @@ func runRegistered(spec Spec, s Shard) (json.RawMessage, error) {
 	if err := ApplyParams(cfg, s.GridPoint); err != nil {
 		return nil, fmt.Errorf("experiment %s: %v", s.Experiment, err)
 	}
-	rep, err := r.Run(cfg)
+	var rep experiment.Report
+	var err error
+	if wr, ok := r.(experiment.WorkersRunner); ok {
+		if runWorkers <= 0 {
+			runWorkers = 1 // sweep-level workers are the default parallelism
+		}
+		rep, err = wr.RunWorkers(cfg, runWorkers)
+	} else {
+		rep, err = r.Run(cfg)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -32,6 +32,10 @@ type ArmsRaceConfig struct {
 	Users          int
 	UsersPerServer int
 	Hours          int
+	// Shards space-shards each chain's population run (default:
+	// fleet's 1). Like every Config field it changes report bytes; the
+	// worker count executing the shards does not (see fleet.WithWorkers).
+	Shards int `json:",omitempty"`
 	// Chains are the detector chains to race (default DefaultChains).
 	// Stage aliases are accepted.
 	Chains [][]string `json:",omitempty"`
@@ -105,8 +109,10 @@ type ArmsRaceReport struct {
 }
 
 // ArmsRace runs every configured detector chain against independently
-// seeded copies of the same population mix.
-func ArmsRace(cfg ArmsRaceConfig) (*ArmsRaceReport, error) {
+// seeded copies of the same population mix. The variadic options are
+// fleet execution options (worker pools, metrics sinks) applied to
+// every chain's run; they never change report bytes.
+func ArmsRace(cfg ArmsRaceConfig, opts ...fleet.Option) (*ArmsRaceReport, error) {
 	chains := cfg.Chains
 	if len(chains) == 0 {
 		chains = DefaultChains
@@ -123,12 +129,13 @@ func ArmsRace(cfg ArmsRaceConfig) (*ArmsRaceReport, error) {
 			Users:          cfg.Users,
 			UsersPerServer: cfg.UsersPerServer,
 			Hours:          cfg.Hours,
+			Shards:         cfg.Shards,
 			Mix:            mix,
 			GFW:            cfg.GFW,
 			Impair:         cfg.Impair,
 		}
 		fcfg.GFW.Detectors = chain
-		fr, err := fleet.Run(fcfg)
+		fr, err := fleet.Run(fcfg, opts...)
 		if err != nil {
 			return nil, fmt.Errorf("armsrace chain %v: %w", chain, err)
 		}
@@ -211,18 +218,23 @@ func fmtDurS(sec float64) string {
 
 // armsraceRunner registers the sweep under the "armsrace" name. Fast
 // scale is four chains over a 1200-user, 6-hour population per chain.
-var armsraceRunner = runner[ArmsRaceConfig]{
-	name: "armsrace",
-	desc: "detector chains × protocol mixes: survival matrix, latency, false positives",
-	config: func(seed int64, full bool) ArmsRaceConfig {
-		cfg := ArmsRaceConfig{Seed: seed}
-		if !full {
-			cfg.Users = 1200
-			cfg.UsersPerServer = 40
-			cfg.Hours = 6
-			cfg.GFW = gfw.Config{PoolSize: 2000}
-		}
-		return cfg
+var armsraceRunner = workersRunner[ArmsRaceConfig]{
+	runner: runner[ArmsRaceConfig]{
+		name: "armsrace",
+		desc: "detector chains × protocol mixes: survival matrix, latency, false positives",
+		config: func(seed int64, full bool) ArmsRaceConfig {
+			cfg := ArmsRaceConfig{Seed: seed}
+			if !full {
+				cfg.Users = 1200
+				cfg.UsersPerServer = 40
+				cfg.Hours = 6
+				cfg.GFW = gfw.Config{PoolSize: 2000}
+			}
+			return cfg
+		},
+		run: func(cfg ArmsRaceConfig) (Report, error) { return ArmsRace(cfg) },
 	},
-	run: func(cfg ArmsRaceConfig) (Report, error) { return ArmsRace(cfg) },
+	runWorkers: func(cfg ArmsRaceConfig, workers int) (Report, error) {
+		return ArmsRace(cfg, fleet.WithWorkers(workers))
+	},
 }

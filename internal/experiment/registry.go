@@ -36,6 +36,17 @@ type Runner interface {
 	Run(cfg any) (Report, error)
 }
 
+// WorkersRunner is the optional Runner extension for experiments that
+// can parallelize inside a single run (the fleet's space shards, the
+// arms race's chains of fleets). RunWorkers is Run with an intra-run
+// worker bound; intra-run workers are execution policy, so the report
+// is byte-identical to Run's for every value. workers <= 0 selects the
+// default (GOMAXPROCS).
+type WorkersRunner interface {
+	Runner
+	RunWorkers(cfg any, workers int) (Report, error)
+}
+
 // runner implements Runner for one experiment via typed closures.
 type runner[C any] struct {
 	name   string
@@ -59,6 +70,23 @@ func (r runner[C]) Run(cfg any) (Report, error) {
 		return r.run(c)
 	case *C:
 		return r.run(*c)
+	default:
+		return nil, fmt.Errorf("experiment %s: config type %T, want %T", r.name, cfg, new(C))
+	}
+}
+
+// workersRunner decorates runner with the WorkersRunner entry point.
+type workersRunner[C any] struct {
+	runner[C]
+	runWorkers func(cfg C, workers int) (Report, error)
+}
+
+func (r workersRunner[C]) RunWorkers(cfg any, workers int) (Report, error) {
+	switch c := cfg.(type) {
+	case C:
+		return r.runWorkers(c, workers)
+	case *C:
+		return r.runWorkers(*c, workers)
 	default:
 		return nil, fmt.Errorf("experiment %s: config type %T, want %T", r.name, cfg, new(C))
 	}

@@ -13,17 +13,29 @@
 // one reused buffer, and every output is a streaming sketch or bucketed
 // counter (internal/stats) — no per-flow record is ever materialized.
 //
-// Determinism: all randomness forks off Config.Seed via seedfork with
-// the labels "fleet.gfw", "fleet.trafficgen", "fleet.mix" and
-// ("fleet.user", i); the engine is single-threaded in virtual time, so
-// equal seeds give byte-identical reports regardless of sweep worker
-// count.
+// Parallelism: the population is partitioned into Config.Shards
+// space-sharded sub-simulations — users pinned to disjoint server +
+// censor shards are causally independent, so each shard runs
+// single-threaded in virtual time on its own simulator, network,
+// censor, timing wheel and RNG streams, and finished shard Reports
+// merge through order-independent reductions (Report.Merge). The
+// worker pool executing the shards is sized by WithWorkers and is
+// pure execution policy: the shard plan is fixed by Config, so any
+// worker count reproduces the -workers 1 report byte-for-byte.
+//
+// Determinism: all randomness forks off Config.Seed via seedfork.
+// With one shard (the default) the stream labels are the historical
+// "fleet.gfw", "fleet.trafficgen", "fleet.mix" and ("fleet.user", i);
+// with more, each shard forks its parent from ("fleet.shard", s) and
+// feeds the same labels under it (user labels carry global indices).
+// The per-server implementation mix is always drawn from one global
+// "fleet.mix" stream, so the population's composition is independent
+// of the shard count.
 package fleet
 
 import (
 	"fmt"
 	"math"
-	"math/rand"
 	"time"
 
 	"sslab/internal/detector"
@@ -68,6 +80,16 @@ type Config struct {
 	// BucketMin is the width, in minutes, of the report's virtual-time
 	// series buckets (default 15).
 	BucketMin int
+	// Shards partitions the population into that many space-sharded
+	// sub-simulations (default 1): each shard owns a contiguous slice of
+	// servers, their users, and its own censor, network, timing wheel and
+	// RNG streams forked under ("fleet.shard", s). Shards is science
+	// config — it changes which RNG streams drive the population, so it
+	// changes report bytes — whereas the worker count executing the
+	// shards is an execution option (WithWorkers) and never does. Values
+	// above the server count are clamped. Shards = 1 reproduces the
+	// unsharded engine byte-for-byte.
+	Shards int `json:",omitempty"`
 	// Mix is the server implementation mix, drawn per server. Defaults
 	// to DefaultMix (the paper-era version spread of §6; only the
 	// replay-serving shadowsocks-python and ShadowsocksR deployments can
@@ -179,6 +201,9 @@ func (c Config) withDefaults() Config {
 	if c.BucketMin == 0 {
 		c.BucketMin = 15
 	}
+	if c.Shards == 0 {
+		c.Shards = 1
+	}
 	if len(c.Mix) == 0 {
 		c.Mix = DefaultMix
 	}
@@ -249,12 +274,26 @@ type srvArg struct {
 	idx int32
 }
 
-// Fleet is one population run in progress. Construct implicitly via Run.
+// Fleet is one shard of a population run in progress — with
+// Config.Shards = 1 (the default), the whole run. Construct implicitly
+// via Run.
 type Fleet struct {
 	cfg Config
 	sim *netsim.Sim
 	net *netsim.Network
 	gfw *gfw.GFW
+
+	// Shard identity: the shard's seedfork parent (cfg.Seed itself when
+	// Shards == 1, so the single-shard engine reproduces the historical
+	// RNG streams exactly) and the global server range [serverLo,
+	// serverHi) this shard owns. Users follow their servers; global
+	// user/server indices keep seed labels and endpoint addresses
+	// identical to the unsharded engine's.
+	seed     int64
+	serverLo int
+	serverHi int
+	userLo   int
+	userHi   int
 
 	wheel   *netsim.Wheel
 	users   []user
@@ -292,7 +331,7 @@ type Fleet struct {
 	flowsTS      *stats.TimeSeries
 	latencies    *stats.Quantile // block time − endpoint activation, seconds
 	lifetimes    *stats.Quantile // activation → first observed failure, seconds
-	gapP2        *stats.P2       // median wake-up gap, seconds
+	gapQ         *stats.Quantile // wake-up gap, seconds (mergeable across shards)
 	blockedCurve []int64         // users currently cut off, sampled per bucket
 	probeLoad    []int64         // probes sent per bucket
 	lastProbes   int
@@ -356,7 +395,7 @@ func (f *Fleet) wake(a *userArg) {
 	f.mWakeups.Inc()
 
 	gap := f.expGap(u)
-	f.gapP2.Observe(gap.Seconds())
+	f.gapQ.Observe(gap.Seconds())
 	if t := now.Add(gap); t.Before(f.end) {
 		f.wheel.Schedule(t, runUserWake, a)
 	}
@@ -459,9 +498,21 @@ func (f *Fleet) sample() {
 	}
 }
 
-// Run executes one fleet experiment and reduces it to a Report.
-func Run(cfg Config) (*Report, error) {
+// Run executes one fleet experiment and reduces it to a Report. The
+// variadic options configure execution only (worker pool size, metrics
+// sink); every Report byte is a function of cfg alone, so any worker
+// count reproduces the -workers 1 bytes exactly.
+func Run(cfg Config, opts ...Option) (*Report, error) {
+	var o runOptions
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&o)
+		}
+	}
 	cfg = cfg.withDefaults()
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("fleet: negative shard count %d", cfg.Shards)
+	}
 	for _, share := range cfg.Mix {
 		if _, ok := implementations[share.Impl]; !ok {
 			return nil, fmt.Errorf("fleet: unknown implementation %q in mix", share.Impl)
@@ -473,57 +524,13 @@ func Run(cfg Config) (*Report, error) {
 	if err := detector.ValidateNames(cfg.GFW.Detectors); err != nil {
 		return nil, fmt.Errorf("fleet: %w", err)
 	}
-
-	sim := netsim.NewSim(netsim.WithSeed(cfg.Seed))
-	var opts []netsim.NetworkOption
-	if cfg.Impair != nil {
-		opts = append(opts, netsim.WithDefaultLink(*cfg.Impair))
-	}
-	net := netsim.NewNetwork(sim, opts...)
-
-	gcfg := cfg.GFW
-	gcfg.Seed = seedfork.Fork(cfg.Seed, "fleet.gfw")
-	gcfg.NoProbeLog = true
-	g := gfw.New(gfw.Env{Sim: sim, Net: net}, gfw.WithConfig(gcfg))
-	net.AddMiddlebox(g)
-
-	f := &Fleet{
-		cfg:          cfg,
-		sim:          sim,
-		net:          net,
-		gfw:          g,
-		wheel:        netsim.NewWheel(sim),
-		tg:           trafficgen.New(seedfork.Fork(cfg.Seed, "fleet.trafficgen")),
-		outBuf:       make([]netsim.Outcome, 0, 1),
-		end:          netsim.Epoch.Add(time.Duration(cfg.Hours) * time.Hour),
-		meanGap:      time.Duration(float64(time.Hour) / cfg.PeakFlowsPerHour),
-		replaceAfter: time.Duration(cfg.ReplaceAfterMin) * time.Minute,
-		bucket:       time.Duration(cfg.BucketMin) * time.Minute,
-		epochs:       map[netsim.Endpoint]epoch{},
-		flowsTS:      stats.NewTimeSeries(time.Duration(cfg.BucketMin) * time.Minute),
-		latencies:    stats.NewQuantile(0.01),
-		lifetimes:    stats.NewQuantile(0.01),
-		gapP2:        stats.NewP2(0.5),
-	}
-	f.bindMetrics()
-	f.build()
-
-	sim.AtCall(netsim.Epoch.Add(f.bucket), runSample, f)
-	sim.RunUntil(f.end)
-
-	return f.report(), nil
+	return runSharded(cfg, o)
 }
 
-// build constructs servers, users, and their initial wake-ups.
-func (f *Fleet) build() {
+// build constructs the shard's servers, users, and their initial
+// wake-ups from the global plan.
+func (f *Fleet) build(plan shardPlan) {
 	cfg := f.cfg
-	nServers := (cfg.Users + cfg.UsersPerServer - 1) / cfg.UsersPerServer
-
-	var totalW float64
-	for _, s := range cfg.Mix {
-		totalW += s.Weight
-	}
-	mixRng := rand.New(rand.NewSource(seedfork.Fork(cfg.Seed, "fleet.mix")))
 
 	f.implNames = make([]string, len(cfg.Mix))
 	for k, s := range cfg.Mix {
@@ -533,18 +540,14 @@ func (f *Fleet) build() {
 	f.implServers = make([]int64, len(cfg.Mix))
 	f.implEver = make([]int64, len(cfg.Mix))
 
-	f.servers = make([]serverRec, nServers)
-	f.sargs = make([]srvArg, nServers)
+	f.servers = make([]serverRec, f.serverHi-f.serverLo)
+	f.sargs = make([]srvArg, len(f.servers))
 	for j := range f.servers {
-		draw := mixRng.Float64() * totalW
-		implIdx := len(cfg.Mix) - 1
-		for k, s := range cfg.Mix {
-			if draw < s.Weight {
-				implIdx = k
-				break
-			}
-			draw -= s.Weight
-		}
+		gj := f.serverLo + j
+		// The implementation was drawn globally (one "fleet.mix" stream
+		// over all servers), so the population composition is independent
+		// of the shard count.
+		implIdx := int(plan.impl[gj])
 		im := implementations[cfg.Mix[implIdx].Impl]
 		var spec sscrypto.Spec
 		var srv *reaction.Server
@@ -554,7 +557,7 @@ func (f *Fleet) build() {
 			if err != nil {
 				panic(err) // implementations table only names built-in methods
 			}
-			srv, err = reaction.NewServer(im.profile, spec, fmt.Sprintf("fleet-%d", j))
+			srv, err = reaction.NewServer(im.profile, spec, fmt.Sprintf("fleet-%d", gj))
 			if err != nil {
 				panic(err)
 			}
@@ -575,13 +578,16 @@ func (f *Fleet) build() {
 		f.net.AddHost(ep, f.servers[j].host)
 	}
 
-	f.users = make([]user, cfg.Users)
-	f.uargs = make([]userArg, cfg.Users)
-	f.clients = make([]netsim.Endpoint, cfg.Users)
+	f.users = make([]user, f.userHi-f.userLo)
+	f.uargs = make([]userArg, len(f.users))
+	f.clients = make([]netsim.Endpoint, len(f.users))
 	for i := range f.users {
+		gi := f.userLo + i
 		u := &f.users[i]
-		u.rng = uint64(seedfork.Fork(cfg.Seed, "fleet.user", int64(i)))
-		u.server = int32(i / cfg.UsersPerServer)
+		// The user seed label carries the global index, so with one shard
+		// the streams are exactly the historical ones.
+		u.rng = uint64(seedfork.Fork(f.seed, "fleet.user", int64(gi)))
+		u.server = int32(gi/cfg.UsersPerServer - f.serverLo)
 		// Small personal jitter, not a uniform 24h shift: the population
 		// shares a timezone, so the aggregate keeps its diurnal shape.
 		u.phaseMin = int16(splitmix(&u.rng)%181) - 90
@@ -599,7 +605,7 @@ func (f *Fleet) build() {
 		f.implUsers[srv.implIdx]++
 		f.uargs[i] = userArg{f: f, idx: int32(i)}
 		f.clients[i] = netsim.Endpoint{
-			IP:   fmt.Sprintf("100.%d.%d.%d", 64+i/62500, (i/250)%250, i%250+1),
+			IP:   fmt.Sprintf("100.%d.%d.%d", 64+gi/62500, (gi/250)%250, gi%250+1),
 			Port: 40000,
 		}
 		// Stagger first wake-ups uniformly over one mean gap, so the

@@ -1,0 +1,39 @@
+package fleet
+
+import "sslab/internal/metrics"
+
+// Option configures how a fleet run *executes* — worker pools, metrics
+// sinks — as opposed to Config, which defines the science. The split
+// is a hard API rule: Config is JSON-round-tripped and swept by the
+// campaign engine, so everything in it may legitimately change report
+// bytes, while execution options must be report-invariant — equal
+// Configs produce byte-identical Reports under any combination of
+// options (see CONTRIBUTING.md, "Execution options vs. science
+// config").
+type Option func(*runOptions)
+
+// runOptions is the resolved execution configuration. The zero value
+// is the default: GOMAXPROCS workers, no external metrics sink.
+type runOptions struct {
+	workers int
+	metrics *metrics.Registry
+}
+
+// WithWorkers bounds the goroutine pool executing the run's shards
+// (default GOMAXPROCS, clamped to the shard count). The shard plan —
+// and therefore every byte of the Report — is fixed by Config.Shards;
+// workers only trade wall-clock time for cores, exactly like the
+// campaign engine's -workers.
+func WithWorkers(n int) Option {
+	return func(o *runOptions) { o.workers = n }
+}
+
+// WithMetrics folds the run's engine metrics — each shard's simulator,
+// network and fleet instruments — into m after the run completes,
+// absorbing per-shard registries in shard order. Metrics never feed
+// the Report, so attaching a registry cannot perturb report bytes. A
+// nil registry restores the default (metrics kept shard-private and
+// discarded).
+func WithMetrics(m *metrics.Registry) Option {
+	return func(o *runOptions) { o.metrics = m }
+}

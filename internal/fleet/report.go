@@ -40,8 +40,8 @@ type Report struct {
 	// failure, in seconds, over epochs that ended in replacement
 	// (epochs alive at run end are censored and excluded).
 	ServerLifetime stats.Summary
-	// MedianWakeGapS is the P² estimate of the median wake-up gap — a
-	// model diagnostic (should track 60·ln2/PeakFlowsPerHour minutes).
+	// MedianWakeGapS is the sketch estimate of the median wake-up gap —
+	// a model diagnostic (should track 60·ln2/PeakFlowsPerHour minutes).
 	MedianWakeGapS float64
 
 	// BucketMin is the width of the series buckets, minutes.
@@ -59,6 +59,106 @@ type Report struct {
 	// StageRecordings attributes the censor's recorded payloads to the
 	// detector stage that claimed each flow, in chain order.
 	StageRecordings []gfw.StageCount `json:",omitempty"`
+
+	// Mergeable backing sketches for the Summary fields above. They are
+	// unexported on purpose: the campaign flattener walks the Report's
+	// JSON, and raw sketch state would pollute the flattened metric set.
+	// Reports restored from JSON lose them, so Merge only works on
+	// in-memory Reports (which is all the shard reduction needs).
+	latQ  *stats.Quantile
+	lifeQ *stats.Quantile
+	gapQ  *stats.Quantile
+}
+
+// Merge folds another shard's Report into r, leaving r the Report of
+// the combined population: counters and curves add, the quantile
+// sketches behind DetectionLatency/ServerLifetime/MedianWakeGapS merge
+// exactly (bucket counts add), and the derived fields (fractions,
+// summaries) are recomputed from the merged state. Merging is
+// associative and commutative up to r.Config, which keeps the
+// receiver's value; both Reports must come from the same Config (same
+// bucket width, mix, and detector chain). Reports restored from JSON
+// cannot merge — their backing sketches are gone.
+func (r *Report) Merge(o *Report) error {
+	if o == nil {
+		return nil
+	}
+	if r.latQ == nil || r.lifeQ == nil || r.gapQ == nil ||
+		o.latQ == nil || o.lifeQ == nil || o.gapQ == nil {
+		return fmt.Errorf("fleet: merging a Report without backing sketches (restored from JSON?)")
+	}
+	if r.BucketMin != o.BucketMin {
+		return fmt.Errorf("fleet: merging reports with bucket widths %d and %d min", r.BucketMin, o.BucketMin)
+	}
+	if len(r.PerImpl) != len(o.PerImpl) {
+		return fmt.Errorf("fleet: merging reports with %d and %d implementations", len(r.PerImpl), len(o.PerImpl))
+	}
+	for k := range r.PerImpl {
+		if r.PerImpl[k].Name != o.PerImpl[k].Name {
+			return fmt.Errorf("fleet: merging reports with mixes %q and %q at row %d",
+				r.PerImpl[k].Name, o.PerImpl[k].Name, k)
+		}
+	}
+	if len(r.StageRecordings) != len(o.StageRecordings) {
+		return fmt.Errorf("fleet: merging reports with %d and %d detector stages",
+			len(r.StageRecordings), len(o.StageRecordings))
+	}
+	for k := range r.StageRecordings {
+		if r.StageRecordings[k].Name != o.StageRecordings[k].Name {
+			return fmt.Errorf("fleet: merging reports with stages %q and %q at position %d",
+				r.StageRecordings[k].Name, o.StageRecordings[k].Name, k)
+		}
+	}
+
+	r.Users += o.Users
+	r.Servers += o.Servers
+	r.Wakeups += o.Wakeups
+	r.Flows += o.Flows
+	r.Triggers += o.Triggers
+	r.PayloadsRecorded += o.PayloadsRecorded
+	r.ProbesSent += o.ProbesSent
+	r.Blocks += o.Blocks
+	r.EverBlockedUsers += o.EverBlockedUsers
+	r.BlockedAtEnd += o.BlockedAtEnd
+	r.Replacements += o.Replacements
+
+	if err := r.latQ.Merge(o.latQ); err != nil {
+		return err
+	}
+	if err := r.lifeQ.Merge(o.lifeQ); err != nil {
+		return err
+	}
+	if err := r.gapQ.Merge(o.gapQ); err != nil {
+		return err
+	}
+	r.BlockedCurve = stats.AddInt64s(r.BlockedCurve, o.BlockedCurve)
+	r.ProbeLoad = stats.AddInt64s(r.ProbeLoad, o.ProbeLoad)
+	if err := r.FlowsPerBucket.Merge(&o.FlowsPerBucket); err != nil {
+		return err
+	}
+	for k := range r.PerImpl {
+		r.PerImpl[k].Users += o.PerImpl[k].Users
+		r.PerImpl[k].Servers += o.PerImpl[k].Servers
+		r.PerImpl[k].EverBlockedUsers += o.PerImpl[k].EverBlockedUsers
+		r.PerImpl[k].Blocks += o.PerImpl[k].Blocks
+		r.PerImpl[k].Fraction = 0
+		if r.PerImpl[k].Users > 0 {
+			r.PerImpl[k].Fraction = float64(r.PerImpl[k].EverBlockedUsers) / float64(r.PerImpl[k].Users)
+		}
+	}
+	for k := range r.StageRecordings {
+		r.StageRecordings[k].Recorded += o.StageRecordings[k].Recorded
+	}
+
+	// Derived views of the merged state.
+	r.DetectionLatency = r.latQ.Summarize()
+	r.ServerLifetime = r.lifeQ.Summarize()
+	r.MedianWakeGapS = r.gapQ.Quantile(0.5)
+	r.BlockedUserFraction = 0
+	if r.Users > 0 {
+		r.BlockedUserFraction = float64(r.EverBlockedUsers) / float64(r.Users)
+	}
+	return nil
 }
 
 // ImplStats is the per-implementation slice of the population outcome.
@@ -102,7 +202,7 @@ func (f *Fleet) report() *Report {
 	}
 	r := &Report{
 		Config:           f.cfg,
-		Users:            f.cfg.Users,
+		Users:            len(f.users), // this shard's slice; Merge restores the population total
 		Servers:          len(f.servers),
 		Wakeups:          f.wakeups,
 		Flows:            f.flows,
@@ -115,16 +215,19 @@ func (f *Fleet) report() *Report {
 		Replacements:     f.replacements,
 		DetectionLatency: f.latencies.Summarize(),
 		ServerLifetime:   f.lifetimes.Summarize(),
-		MedianWakeGapS:   f.gapP2.Value(),
+		MedianWakeGapS:   f.gapQ.Quantile(0.5),
 		BucketMin:        f.cfg.BucketMin,
 		BlockedCurve:     f.blockedCurve,
 		ProbeLoad:        f.probeLoad,
 		FlowsPerBucket:   *f.flowsTS,
 		PerImpl:          perImpl,
 		StageRecordings:  f.gfw.StageRecordings(),
+		latQ:             f.latencies,
+		lifeQ:            f.lifetimes,
+		gapQ:             f.gapQ,
 	}
-	if f.cfg.Users > 0 {
-		r.BlockedUserFraction = float64(f.everBlocked) / float64(f.cfg.Users)
+	if len(f.users) > 0 {
+		r.BlockedUserFraction = float64(f.everBlocked) / float64(len(f.users))
 	}
 	return r
 }

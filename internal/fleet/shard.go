@@ -1,0 +1,218 @@
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"sslab/internal/gfw"
+	"sslab/internal/metrics"
+	"sslab/internal/netsim"
+	"sslab/internal/seedfork"
+	"sslab/internal/stats"
+	"sslab/internal/trafficgen"
+)
+
+// shardPlan is the run's space partition, fixed by Config before any
+// shard executes: the global per-server implementation assignment and
+// each shard's contiguous server range. Workers execute this plan;
+// they never reshape it, which is what makes the worker count
+// report-invariant.
+type shardPlan struct {
+	nServers int
+	impl     []int32 // implementation index per global server
+	lo, hi   []int   // shard s owns global servers [lo[s], hi[s])
+}
+
+// planShards draws the global implementation mix and splits the server
+// space into balanced contiguous ranges. The mix is one sequential
+// stream over all servers regardless of the shard count, so sharding
+// repartitions the population without recomposing it. Shard counts
+// above the server count clamp (a shard must own at least one server).
+func planShards(cfg Config) shardPlan {
+	nServers := (cfg.Users + cfg.UsersPerServer - 1) / cfg.UsersPerServer
+	var totalW float64
+	for _, s := range cfg.Mix {
+		totalW += s.Weight
+	}
+	mixRng := rand.New(rand.NewSource(seedfork.Fork(cfg.Seed, "fleet.mix")))
+	impl := make([]int32, nServers)
+	for j := range impl {
+		draw := mixRng.Float64() * totalW
+		implIdx := len(cfg.Mix) - 1
+		for k, s := range cfg.Mix {
+			if draw < s.Weight {
+				implIdx = k
+				break
+			}
+			draw -= s.Weight
+		}
+		impl[j] = int32(implIdx)
+	}
+
+	shards := cfg.Shards
+	if shards > nServers {
+		shards = nServers
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	p := shardPlan{nServers: nServers, impl: impl, lo: make([]int, shards), hi: make([]int, shards)}
+	q, r := nServers/shards, nServers%shards
+	at := 0
+	for s := range p.lo {
+		n := q
+		if s < r {
+			n++ // the first r shards absorb the remainder
+		}
+		p.lo[s] = at
+		at += n
+		p.hi[s] = at
+	}
+	return p
+}
+
+// shardOut is one shard's result slot, indexed by shard so the merge
+// order never depends on scheduling.
+type shardOut struct {
+	rep  *Report
+	snap metrics.Snapshot
+	err  error
+}
+
+// runSharded executes the plan on a bounded worker pool and merges the
+// per-shard Reports in shard order.
+func runSharded(cfg Config, o runOptions) (*Report, error) {
+	plan := planShards(cfg)
+	nShards := len(plan.lo)
+	workers := o.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > nShards {
+		workers = nShards
+	}
+	wantSnap := o.metrics != nil
+
+	outs := make([]shardOut, nShards)
+	if workers <= 1 {
+		for s := range outs {
+			outs[s] = runShard(cfg, plan, s, wantSnap)
+		}
+	} else {
+		queue := make(chan int, nShards)
+		for s := range outs {
+			queue <- s
+		}
+		close(queue)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for s := range queue {
+					outs[s] = runShard(cfg, plan, s, wantSnap)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	// The lowest-indexed failure wins, so the reported error does not
+	// depend on which worker lost the race.
+	for s := range outs {
+		if outs[s].err != nil {
+			return nil, fmt.Errorf("fleet: shard %d/%d: %w", s, nShards, outs[s].err)
+		}
+	}
+	rep := outs[0].rep
+	for s := 1; s < nShards; s++ {
+		if err := rep.Merge(outs[s].rep); err != nil {
+			return nil, fmt.Errorf("fleet: merging shard %d/%d: %w", s, nShards, err)
+		}
+	}
+	if o.metrics != nil {
+		for s := range outs {
+			if err := o.metrics.Absorb(outs[s].snap); err != nil {
+				return nil, fmt.Errorf("fleet: shard %d/%d: %w", s, nShards, err)
+			}
+		}
+	}
+	return rep, nil
+}
+
+// runShard builds and executes one shard's sub-simulation, converting
+// panics into errors so a poisoned shard fails the run cleanly instead
+// of killing the whole process — campaign's per-shard isolation,
+// pushed inside a single fleet run.
+func runShard(cfg Config, plan shardPlan, s int, wantSnap bool) (out shardOut) {
+	defer func() {
+		if p := recover(); p != nil {
+			out = shardOut{err: fmt.Errorf("panic: %v", p)}
+		}
+	}()
+
+	// With one shard the parent seed is Config.Seed itself, which makes
+	// every derived label identical to the unsharded engine's; with more,
+	// each shard gets an independent fork.
+	seed := cfg.Seed
+	if len(plan.lo) > 1 {
+		seed = seedfork.Fork(cfg.Seed, "fleet.shard", int64(s))
+	}
+
+	sim := netsim.NewSim(netsim.WithSeed(seed))
+	var nopts []netsim.NetworkOption
+	if cfg.Impair != nil {
+		nopts = append(nopts, netsim.WithDefaultLink(*cfg.Impair))
+	}
+	net := netsim.NewNetwork(sim, nopts...)
+
+	gcfg := cfg.GFW
+	gcfg.Seed = seedfork.Fork(seed, "fleet.gfw")
+	gcfg.NoProbeLog = true
+	g := gfw.New(gfw.Env{Sim: sim, Net: net}, gfw.WithConfig(gcfg))
+	net.AddMiddlebox(g)
+
+	userLo := plan.lo[s] * cfg.UsersPerServer
+	userHi := plan.hi[s] * cfg.UsersPerServer
+	if userHi > cfg.Users {
+		userHi = cfg.Users // the last server may be partially subscribed
+	}
+	f := &Fleet{
+		cfg:          cfg,
+		sim:          sim,
+		net:          net,
+		gfw:          g,
+		seed:         seed,
+		serverLo:     plan.lo[s],
+		serverHi:     plan.hi[s],
+		userLo:       userLo,
+		userHi:       userHi,
+		nextServerIP: plan.lo[s], // initial endpoints keep their global addresses
+		wheel:        netsim.NewWheel(sim),
+		tg:           trafficgen.New(seedfork.Fork(seed, "fleet.trafficgen")),
+		outBuf:       make([]netsim.Outcome, 0, 1),
+		end:          netsim.Epoch.Add(time.Duration(cfg.Hours) * time.Hour),
+		meanGap:      time.Duration(float64(time.Hour) / cfg.PeakFlowsPerHour),
+		replaceAfter: time.Duration(cfg.ReplaceAfterMin) * time.Minute,
+		bucket:       time.Duration(cfg.BucketMin) * time.Minute,
+		epochs:       map[netsim.Endpoint]epoch{},
+		flowsTS:      stats.NewTimeSeries(time.Duration(cfg.BucketMin) * time.Minute),
+		latencies:    stats.NewQuantile(0.01),
+		lifetimes:    stats.NewQuantile(0.01),
+		gapQ:         stats.NewQuantile(0.01),
+	}
+	f.bindMetrics()
+	f.build(plan)
+
+	sim.AtCall(netsim.Epoch.Add(f.bucket), runSample, f)
+	sim.RunUntil(f.end)
+
+	out = shardOut{rep: f.report()}
+	if wantSnap {
+		out.snap = sim.Metrics.Snapshot()
+	}
+	return out
+}

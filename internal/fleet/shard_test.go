@@ -1,0 +1,281 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"sslab/internal/metrics"
+)
+
+// shardedCfg is smallCfg with a shard count that does not divide the
+// 20-server population (20 = 7+... → ranges 3,3,3,3,3,3,2), so the
+// balanced-partition remainder path is always exercised.
+func shardedCfg(seed int64) Config {
+	cfg := smallCfg(seed)
+	cfg.Shards = 7
+	return cfg
+}
+
+func mustJSON(t *testing.T, rep *Report) []byte {
+	t.Helper()
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestFleetWorkerByteIdentity pins the tentpole invariant: the worker
+// count executing a fixed shard plan must never change a single report
+// byte. Workers ∈ {1, 2, 4, 7} over a 7-shard plan covers under-,
+// non-divisible- and fully-parallel pools.
+func TestFleetWorkerByteIdentity(t *testing.T) {
+	golden := mustJSON(t, mustRun(t, shardedCfg(11)))
+	for _, workers := range []int{1, 2, 4, 7} {
+		rep, err := Run(shardedCfg(11), WithWorkers(workers))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got := mustJSON(t, rep); !bytes.Equal(got, golden) {
+			t.Fatalf("workers=%d report diverged from the single-threaded golden:\n%s\nvs\n%s",
+				workers, got, golden)
+		}
+	}
+}
+
+// TestFleetShardsDefault: Shards = 0 must mean 1 shard, byte-for-byte,
+// and oversized shard counts clamp to the server count.
+func TestFleetShardsDefault(t *testing.T) {
+	base := mustJSON(t, mustRun(t, smallCfg(3)))
+
+	one := smallCfg(3)
+	one.Shards = 1
+	// withDefaults echoes Shards=1 into both reports' Config, so the
+	// comparison is byte-exact with no fixups.
+	if got := mustJSON(t, mustRun(t, one)); !bytes.Equal(got, base) {
+		t.Fatalf("Shards=1 diverged from Shards=0")
+	}
+
+	huge := smallCfg(3)
+	huge.Shards = 10000 // 20 servers → clamps to 20
+	if _, err := Run(huge); err != nil {
+		t.Fatalf("oversized shard count: %v", err)
+	}
+
+	neg := smallCfg(3)
+	neg.Shards = -1
+	if _, err := Run(neg); err == nil {
+		t.Fatal("negative shard count must be rejected")
+	}
+}
+
+// TestFleetShardPopulationInvariants: sharding repartitions the
+// population without recomposing it — the per-implementation server
+// and user totals are identical for any shard count, and the shard
+// totals add up to the configured population.
+func TestFleetShardPopulationInvariants(t *testing.T) {
+	base := mustRun(t, smallCfg(5))
+	for _, shards := range []int{2, 3, 7, 20} {
+		cfg := smallCfg(5)
+		cfg.Shards = shards
+		rep := mustRun(t, cfg)
+		if rep.Users != base.Users || rep.Servers != base.Servers {
+			t.Fatalf("shards=%d: population %d/%d, want %d/%d",
+				shards, rep.Users, rep.Servers, base.Users, base.Servers)
+		}
+		for k := range rep.PerImpl {
+			if rep.PerImpl[k].Users != base.PerImpl[k].Users ||
+				rep.PerImpl[k].Servers != base.PerImpl[k].Servers {
+				t.Fatalf("shards=%d: impl %s composition %d users/%d servers, want %d/%d",
+					shards, rep.PerImpl[k].Name,
+					rep.PerImpl[k].Users, rep.PerImpl[k].Servers,
+					base.PerImpl[k].Users, base.PerImpl[k].Servers)
+			}
+		}
+	}
+}
+
+// shardReports runs each shard of a plan in isolation and returns the
+// per-shard Reports — the raw inputs of the merge reduction.
+func shardReports(t *testing.T, cfg Config) []*Report {
+	t.Helper()
+	cfg = cfg.withDefaults()
+	plan := planShards(cfg)
+	reps := make([]*Report, len(plan.lo))
+	for s := range reps {
+		out := runShard(cfg, plan, s, false)
+		if out.err != nil {
+			t.Fatalf("shard %d: %v", s, out.err)
+		}
+		reps[s] = out.rep
+	}
+	return reps
+}
+
+// cloneReports re-runs the shards (each runShard is deterministic), so
+// each merge trial starts from fresh, unmutated Reports.
+func mergeOrder(t *testing.T, cfg Config, order []int) []byte {
+	t.Helper()
+	reps := shardReports(t, cfg)
+	acc := reps[order[0]]
+	for _, i := range order[1:] {
+		if err := acc.Merge(reps[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return mustJSON(t, acc)
+}
+
+// TestFleetMergeCommutative mirrors internal/stats' merge property
+// tests: folding the per-shard Reports in any permutation yields
+// byte-identical results.
+func TestFleetMergeCommutative(t *testing.T) {
+	cfg := shardedCfg(7)
+	order := []int{0, 1, 2, 3, 4, 5, 6}
+	base := mergeOrder(t, cfg, order)
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 5; trial++ {
+		if got := mergeOrder(t, cfg, rng.Perm(len(order))); !bytes.Equal(got, base) {
+			t.Fatalf("merge permutation changed the report:\n%s\nvs\n%s", got, base)
+		}
+	}
+}
+
+// TestFleetMergeAssociative: merging pre-merged halves equals the flat
+// left-to-right fold.
+func TestFleetMergeAssociative(t *testing.T) {
+	cfg := shardedCfg(7)
+	base := mergeOrder(t, cfg, []int{0, 1, 2, 3, 4, 5, 6})
+
+	reps := shardReports(t, cfg)
+	left, right := reps[0], reps[3]
+	for _, i := range []int{1, 2} {
+		if err := left.Merge(reps[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, i := range []int{4, 5, 6} {
+		if err := right.Merge(reps[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := left.Merge(right); err != nil {
+		t.Fatal(err)
+	}
+	if got := mustJSON(t, left); !bytes.Equal(got, base) {
+		t.Fatalf("grouped merge diverged from flat merge:\n%s\nvs\n%s", got, base)
+	}
+}
+
+// TestFleetMergeGuards: the merge must refuse mismatched science and
+// Reports that lost their backing sketches in a JSON round trip.
+func TestFleetMergeGuards(t *testing.T) {
+	reps := shardReports(t, shardedCfg(9))
+
+	var restored Report
+	if err := json.Unmarshal(mustJSON(t, reps[0]), &restored); err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Merge(reps[1]); err == nil {
+		t.Fatal("restored Report must refuse to merge (sketches lost)")
+	}
+	if err := reps[0].Merge(&restored); err == nil {
+		t.Fatal("merging a restored Report must fail (sketches lost)")
+	}
+
+	other := smallCfg(9)
+	other.BucketMin = 15
+	mismatched := mustRun(t, other)
+	if err := reps[0].Merge(mismatched); err == nil {
+		t.Fatal("mismatched bucket widths must refuse to merge")
+	}
+
+	if err := reps[2].Merge(nil); err != nil {
+		t.Fatalf("nil merge must be a no-op: %v", err)
+	}
+}
+
+// TestFleetWithMetrics: the metrics option folds every shard's engine
+// counters into the caller's registry without perturbing report bytes,
+// and the folded totals agree with the report.
+func TestFleetWithMetrics(t *testing.T) {
+	golden := mustJSON(t, mustRun(t, shardedCfg(13)))
+
+	m := metrics.New()
+	rep, err := Run(shardedCfg(13), WithWorkers(4), WithMetrics(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mustJSON(t, rep); !bytes.Equal(got, golden) {
+		t.Fatal("attaching a metrics registry changed report bytes")
+	}
+	if got := m.Counter("fleet.flows").Value(); got != rep.Flows {
+		t.Fatalf("fleet.flows = %d, want %d", got, rep.Flows)
+	}
+	if got := m.Counter("fleet.wakeups").Value(); got != rep.Wakeups {
+		t.Fatalf("fleet.wakeups = %d, want %d", got, rep.Wakeups)
+	}
+	if got := m.Gauge("fleet.blocked_users").Value(); got != rep.BlockedAtEnd {
+		t.Fatalf("fleet.blocked_users = %d, want %d", got, rep.BlockedAtEnd)
+	}
+	if got := m.Counter("fleet.replacements").Value(); got != rep.Replacements {
+		t.Fatalf("fleet.replacements = %d, want %d", got, rep.Replacements)
+	}
+}
+
+// TestFleetShardPanicIsolation: a panicking shard must surface as an
+// error naming the shard, not kill the process.
+func TestFleetShardPanicIsolation(t *testing.T) {
+	cfg := shardedCfg(1).withDefaults()
+	plan := planShards(cfg)
+	plan.impl = nil // poison: build will index nil and panic
+	out := runShard(cfg, plan, 2, false)
+	if out.err == nil {
+		t.Fatal("poisoned shard must return an error")
+	}
+}
+
+// TestPlanShardsBalance: contiguous cover of the server space, sizes
+// differing by at most one, for divisible and non-divisible counts.
+func TestPlanShardsBalance(t *testing.T) {
+	for _, tc := range []struct{ users, ups, shards int }{
+		{500, 25, 1}, {500, 25, 4}, {500, 25, 7}, {500, 25, 20},
+		{500, 25, 99}, {501, 25, 3}, {10, 50, 4},
+	} {
+		cfg := Config{Seed: 1, Users: tc.users, UsersPerServer: tc.ups, Shards: tc.shards}.withDefaults()
+		plan := planShards(cfg)
+		nServers := (tc.users + tc.ups - 1) / tc.ups
+		if plan.nServers != nServers {
+			t.Fatalf("%+v: nServers = %d, want %d", tc, plan.nServers, nServers)
+		}
+		want := tc.shards
+		if want > nServers {
+			want = nServers
+		}
+		if len(plan.lo) != want {
+			t.Fatalf("%+v: %d shards, want %d", tc, len(plan.lo), want)
+		}
+		at, min, max := 0, nServers, 0
+		for s := range plan.lo {
+			if plan.lo[s] != at || plan.hi[s] <= plan.lo[s] {
+				t.Fatalf("%+v: shard %d range [%d,%d) not contiguous from %d", tc, s, plan.lo[s], plan.hi[s], at)
+			}
+			n := plan.hi[s] - plan.lo[s]
+			if n < min {
+				min = n
+			}
+			if n > max {
+				max = n
+			}
+			at = plan.hi[s]
+		}
+		if at != nServers {
+			t.Fatalf("%+v: shards cover [0,%d), want [0,%d)", tc, at, nServers)
+		}
+		if max-min > 1 {
+			t.Fatalf("%+v: shard sizes range %d..%d, want balanced", tc, min, max)
+		}
+	}
+}

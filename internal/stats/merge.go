@@ -28,6 +28,22 @@ func (h *Histogram) Merge(o *Histogram) {
 	h.Total += o.Total
 }
 
+// AddInt64s sums src into dst element-wise, growing dst to the longer
+// length (missing entries count as zero), and returns the possibly
+// reallocated dst. Like the other reductions here it is associative
+// and commutative, which is what lets the fleet engine's per-shard
+// bucket curves (blocked users, probe load) merge into the same bytes
+// regardless of worker count or merge grouping.
+func AddInt64s(dst, src []int64) []int64 {
+	for len(dst) < len(src) {
+		dst = append(dst, 0)
+	}
+	for i, v := range src {
+		dst[i] += v
+	}
+	return dst
+}
+
 // Samples returns a copy of the CDF's sorted samples.
 func (c *CDF) Samples() []float64 {
 	return append([]float64(nil), c.sorted...)

@@ -166,3 +166,48 @@ func TestMean(t *testing.T) {
 		t.Fatalf("mean = %g", got)
 	}
 }
+
+// TestAddInt64s covers the element-wise curve merge the fleet's shard
+// reduction uses: order/grouping independence and tail extension.
+func TestAddInt64s(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	parts := make([][]int64, 9)
+	for i := range parts {
+		parts[i] = make([]int64, 1+rng.Intn(12))
+		for j := range parts[i] {
+			parts[i][j] = int64(rng.Intn(100) - 20)
+		}
+	}
+	merge := func(order []int) []int64 {
+		var out []int64
+		for _, i := range order {
+			out = AddInt64s(out, parts[i])
+		}
+		return out
+	}
+	base := merge(rng.Perm(len(parts)))
+	for trial := 0; trial < 20; trial++ {
+		if got := merge(rng.Perm(len(parts))); !reflect.DeepEqual(base, got) {
+			t.Fatalf("merge order changed the result: %v vs %v", base, got)
+		}
+	}
+	// Associativity: summing pre-merged halves equals the flat sum.
+	var left, right []int64
+	for i, p := range parts {
+		if i%2 == 0 {
+			left = AddInt64s(left, p)
+		} else {
+			right = AddInt64s(right, p)
+		}
+	}
+	if got := AddInt64s(left, right); !reflect.DeepEqual(base, got) {
+		t.Fatalf("grouped sum diverged from flat sum: %v vs %v", base, got)
+	}
+	// The longer operand sets the result length; missing entries are 0.
+	if got := AddInt64s([]int64{1}, []int64{2, 3}); !reflect.DeepEqual(got, []int64{3, 3}) {
+		t.Fatalf("tail extension: got %v", got)
+	}
+	if got := AddInt64s([]int64{1, 4}, nil); !reflect.DeepEqual(got, []int64{1, 4}) {
+		t.Fatalf("nil src: got %v", got)
+	}
+}

@@ -32,6 +32,7 @@ package sslab
 import (
 	"sslab/internal/detector"
 	"sslab/internal/experiment"
+	"sslab/internal/fleet"
 	"sslab/internal/gfw"
 	"sslab/internal/metrics"
 	"sslab/internal/netsim"
@@ -141,6 +142,27 @@ type (
 	RobustnessConfig = experiment.RobustnessConfig
 	// ArmsRaceConfig scales the detector-chain × protocol-mix sweep.
 	ArmsRaceConfig = experiment.ArmsRaceConfig
+)
+
+// Population-scale fleet API. FleetConfig is the science — everything
+// in it, including the Shards space partition, may change report
+// bytes — while FleetOptions configure execution only (worker pools,
+// metrics sinks) and are guaranteed report-invariant: equal configs
+// give byte-identical FleetReports under any option combination.
+type (
+	// FleetConfig sizes and seeds a population run (users, servers,
+	// virtual hours, implementation mix, censor config, shard count).
+	FleetConfig = fleet.Config
+	// FleetReport is the population-scale reduction of one run:
+	// blocked-user curves, detection latencies, server lifetimes,
+	// per-implementation survival. Reports from shards or repeated runs
+	// fold together with its Merge method.
+	FleetReport = fleet.Report
+	// FleetOption configures fleet execution (see WithWorkers,
+	// WithFleetMetrics).
+	FleetOption = fleet.Option
+	// ImplShare is one entry of a fleet's server implementation mix.
+	ImplShare = fleet.ImplShare
 )
 
 // Implementation profiles the paper studied, plus the hardened reference.
@@ -296,10 +318,31 @@ func RunRobustness(cfg RobustnessConfig) (*experiment.RobustnessReport, error) {
 
 // RunArmsRace races detector chains against a multi-protocol server
 // population: per-chain blocked-user fractions, detection latency, and
-// false positives on innocuous web traffic.
-func RunArmsRace(cfg ArmsRaceConfig) (*experiment.ArmsRaceReport, error) {
-	return experiment.ArmsRace(cfg)
+// false positives on innocuous web traffic. The variadic options are
+// fleet execution options applied to every chain's population run.
+func RunArmsRace(cfg ArmsRaceConfig, opts ...FleetOption) (*experiment.ArmsRaceReport, error) {
+	return experiment.ArmsRace(cfg, opts...)
 }
+
+// RunFleet executes a population-scale fleet run: Config.Shards
+// space-sharded sub-simulations (each with its own censor, network,
+// timing wheel and RNG streams) on a bounded worker pool, merged into
+// one FleetReport. The report is a function of cfg alone — WithWorkers
+// only changes wall-clock time.
+func RunFleet(cfg FleetConfig, opts ...FleetOption) (*FleetReport, error) {
+	return fleet.Run(cfg, opts...)
+}
+
+// WithWorkers bounds the worker pool executing a fleet run's shards
+// (default: all cores, clamped to the shard count). Execution option:
+// never changes report bytes.
+func WithWorkers(n int) FleetOption { return fleet.WithWorkers(n) }
+
+// WithFleetMetrics folds a fleet run's engine metrics (every shard's
+// simulator, network, censor and fleet instruments) into m in shard
+// order. Execution option: never changes report bytes. (WithMetrics is
+// the analogous simulator-level option.)
+func WithFleetMetrics(m *Metrics) FleetOption { return fleet.WithMetrics(m) }
 
 // Probe sends one payload to a live server and classifies the reaction
 // the way the GFW would.
