@@ -48,6 +48,37 @@ func TestFleetAcceptance(t *testing.T) {
 	}
 }
 
+// TestFleetSnapshotAcceptance measures the snapshot subsystem at
+// population scale: the 100k-user acceptance fleet run to the middle
+// of its 24-hour horizon, serialized, and restored. It logs snapshot
+// size and save/restore wall time — the numbers recorded in
+// BENCH_fleet.json — and is gated with the other acceptance runs.
+func TestFleetSnapshotAcceptance(t *testing.T) {
+	if os.Getenv("FLEET_ACCEPTANCE") == "" {
+		t.Skip("set FLEET_ACCEPTANCE=1 to run the 100k-user snapshot measurement")
+	}
+	e, err := fleet.NewEngine(fleet.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RunTo(netsim.Epoch.Add(12 * time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	data, err := e.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	save := time.Since(start)
+	start = time.Now()
+	if _, err := fleet.Restore(data); err != nil {
+		t.Fatal(err)
+	}
+	restore := time.Since(start)
+	t.Logf("100k users at T=12h: snapshot %.1f MB, save %.2fs, restore %.2fs",
+		float64(len(data))/1e6, save.Seconds(), restore.Seconds())
+}
+
 // TestFleetScaling is the sharded engine's full-scale acceptance run:
 // one million users for seven virtual days (168 h), split over eight
 // space shards, once per worker-pool size. It logs the wall-clock
@@ -96,6 +127,8 @@ func BenchmarkFleet(b *testing.B) {
 	b.Run("WheelSchedule", benchWheelSchedule)
 	b.Run("Run2k", benchFleetRun2k)
 	b.Run("Run2kSharded", benchFleetRun2kSharded)
+	b.Run("SnapshotSave", benchSnapshotSave)
+	b.Run("SnapshotRestore", benchSnapshotRestore)
 }
 
 func nopWheelFire(any) {}
@@ -137,6 +170,68 @@ func benchFleetRun2k(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := fleet.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// snapBenchEngine builds the Run2k engine and advances it to the
+// middle of the horizon, where per-user wheel entries and in-flight
+// censor state are at steady-state density — the worst case a snapshot
+// has to serialize.
+func snapBenchEngine(b *testing.B) *fleet.Engine {
+	b.Helper()
+	e, err := fleet.NewEngine(fleet.Config{
+		Seed:           1,
+		Users:          2000,
+		UsersPerServer: 50,
+		Hours:          3,
+		BucketMin:      30,
+		GFW:            gfw.Config{PoolSize: 2000},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := e.RunTo(netsim.Epoch.Add(90 * time.Minute)); err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+// benchSnapshotSave serializes the mid-run 2000-user engine once per
+// op. Snapshot is read-only (capture never mutates unit state), so
+// repeated saves of the same engine are identical; the reported
+// snap-bytes metric is the serialized size recorded in
+// BENCH_fleet.json.
+func benchSnapshotSave(b *testing.B) {
+	e := snapBenchEngine(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var size int
+	for i := 0; i < b.N; i++ {
+		data, err := e.Snapshot()
+		if err != nil {
+			b.Fatal(err)
+		}
+		size = len(data)
+	}
+	b.ReportMetric(float64(size), "snap-bytes")
+}
+
+// benchSnapshotRestore rebuilds a live engine from the same mid-run
+// snapshot once per op: decode, reconstruct every unit's simulator,
+// censor and population state, and re-arm the pending event heap and
+// timing-wheel entries.
+func benchSnapshotRestore(b *testing.B) {
+	e := snapBenchEngine(b)
+	data, err := e.Snapshot()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fleet.Restore(data); err != nil {
 			b.Fatal(err)
 		}
 	}

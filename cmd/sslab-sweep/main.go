@@ -54,7 +54,7 @@ func main() {
 		expName  = flag.String("experiment", "", "experiment to sweep (one of "+strings.Join(experiment.Names(), ", ")+")")
 		seedList = flag.String("seeds", "1..8", "seed list: comma-separated integers and A..B ranges")
 		workers  = flag.Int("workers", 0, "worker pool size (default GOMAXPROCS); does not affect results")
-		runWork  = flag.Int("run-workers", 0, "intra-run worker pool per shard for experiments that support it (fleet, armsrace; default 1); does not affect results")
+		runWork  = flag.Int("run-workers", 0, "intra-run worker pool per shard for experiments that support it (fleet, armsrace, spatiotemporal; default 1); does not affect results")
 		full     = flag.Bool("full", false, "paper scale instead of the fast default")
 		outDir   = flag.String("out", "", "checkpoint directory (spec.json, shards.jsonl, merged.json)")
 		resume   = flag.Bool("resume", false, "reuse finished shards checkpointed in -out")

@@ -43,6 +43,7 @@ var Analyzer = &analysis.Analyzer{
 		"sslab/internal/probe",
 		"sslab/internal/probesim",
 		"sslab/internal/reaction",
+		"sslab/internal/region",
 		"sslab/internal/replay",
 		"sslab/internal/seedfork",
 		"sslab/internal/stats",

@@ -46,6 +46,7 @@ var Analyzer = &analysis.Analyzer{
 		"sslab/internal/netsim",
 		"sslab/internal/probe",
 		"sslab/internal/reaction",
+		"sslab/internal/region",
 	},
 	IncludeTests: true,
 	Run:          run,

@@ -19,7 +19,8 @@ type Options struct {
 	Workers int
 	// RunWorkers bounds each shard's *intra-run* worker pool, for
 	// experiments whose runner implements experiment.WorkersRunner
-	// (fleet, armsrace); other experiments ignore it. Zero keeps each
+	// (fleet, armsrace, spatiotemporal); other experiments ignore it.
+	// Zero keeps each
 	// run single-threaded, so sweep- and run-level parallelism don't
 	// multiply by accident. Like Workers, it never changes the merged
 	// report's bytes.

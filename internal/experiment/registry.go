@@ -245,6 +245,7 @@ var runners = []Runner{
 	},
 	fleetRunner,
 	armsraceRunner,
+	spatioRunner,
 }
 
 // Runners returns the registry in presentation order.

@@ -10,7 +10,7 @@ import (
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"table1", "shadowsocks", "sink", "brdgrd", "blocking",
 		"fpstudy", "banstudy", "mimicstudy", "probecost", "matrix", "robustness",
-		"fleet", "armsrace"}
+		"fleet", "armsrace", "spatiotemporal"}
 	rs := Runners()
 	if len(rs) != len(want) {
 		t.Fatalf("registry has %d runners, want %d", len(rs), len(want))

@@ -47,6 +47,9 @@ func TestGoldenCrossCheck(t *testing.T) {
 	gcfg := c.GFW
 	gcfg.Seed = seedfork.Fork(c.Seed, "fleet.gfw")
 	gcfg.NoProbeLog = true
+	if gcfg.Sensitivity < 0 {
+		gcfg.Sensitivity = 0 // the engine's clamp of the historical never-block sentinel
+	}
 	g := gfw.New(gfw.Env{Sim: sim, Net: net}, gfw.WithConfig(gcfg))
 	net.AddMiddlebox(g)
 	tg := trafficgen.New(seedfork.Fork(c.Seed, "fleet.trafficgen"))

@@ -43,6 +43,7 @@ import (
 	"sslab/internal/metrics"
 	"sslab/internal/netsim"
 	"sslab/internal/reaction"
+	"sslab/internal/region"
 	"sslab/internal/seedfork"
 	"sslab/internal/sscrypto"
 	"sslab/internal/stats"
@@ -101,6 +102,13 @@ type Config struct {
 	// probe-but-never-block censor), and the probe capture log is
 	// disabled (nothing reads per-probe records at this scale).
 	GFW gfw.Config
+	// Regions optionally partitions the population into named
+	// censorship regions, each with its own censor configuration and
+	// timed policy schedule (see internal/region). Nil — and any
+	// one-region topology with an empty schedule — reproduces the
+	// non-regional engine byte-for-byte. With two or more regions the
+	// Report additionally carries PerRegion rows.
+	Regions *region.Topology `json:",omitempty"`
 	// Impair optionally applies a link impairment profile to every link.
 	Impair *netsim.LinkProfile `json:",omitempty"`
 }
@@ -254,11 +262,15 @@ type serverRec struct {
 	replacing bool
 }
 
-// epoch records one endpoint activation: when, and which implementation
-// was behind it (for per-implementation block attribution).
+// epoch records one endpoint activation: when, which implementation
+// was behind it (for per-implementation block attribution), and which
+// local server owned it (so a snapshot restore can re-bind every
+// historical endpoint to its host — old endpoints keep serving probes
+// after a replacement).
 type epoch struct {
 	at   time.Time
 	impl int32
+	srv  int32
 }
 
 // userArg / srvArg are the pre-allocated closure-free scheduling
@@ -294,6 +306,20 @@ type Fleet struct {
 	serverHi int
 	userLo   int
 	userHi   int
+
+	// Region identity: which topology region this unit belongs to, and
+	// the region's policy schedule. policyNext is the index of the next
+	// unapplied schedule event (the schedule's entire pending state —
+	// events chain one AtCall at a time through parg).
+	regionIdx  int
+	regionName string
+	schedule   region.Schedule
+	parg       policyArg
+	policyNext int
+
+	// restoring suppresses build's initial event scheduling: a restored
+	// unit re-arms its pending events from the snapshot instead.
+	restoring bool
 
 	wheel   *netsim.Wheel
 	users   []user
@@ -466,7 +492,7 @@ func (f *Fleet) replace(idx int32) {
 
 	srv.ep = f.serverEndpoint()
 	srv.activated = now
-	f.epochs[srv.ep] = epoch{at: now, impl: srv.implIdx}
+	f.epochs[srv.ep] = epoch{at: now, impl: srv.implIdx, srv: idx}
 	f.net.AddHost(srv.ep, srv.host)
 }
 
@@ -501,35 +527,60 @@ func (f *Fleet) sample() {
 // Run executes one fleet experiment and reduces it to a Report. The
 // variadic options configure execution only (worker pool size, metrics
 // sink); every Report byte is a function of cfg alone, so any worker
-// count reproduces the -workers 1 bytes exactly.
+// count reproduces the -workers 1 bytes exactly. Run is sugar for
+// NewEngine + RunTo(End) + Report; use the Engine directly to pause,
+// snapshot, or resume a run mid-flight.
 func Run(cfg Config, opts ...Option) (*Report, error) {
-	var o runOptions
-	for _, opt := range opts {
-		if opt != nil {
-			opt(&o)
-		}
+	e, err := NewEngine(cfg, opts...)
+	if err != nil {
+		return nil, err
 	}
-	cfg = cfg.withDefaults()
+	if err := e.RunTo(e.End()); err != nil {
+		return nil, err
+	}
+	return e.Report()
+}
+
+// validate rejects configurations the engine cannot execute; called on
+// the pre-defaults Config so user errors surface as errors, not
+// normalized silently.
+func validate(cfg Config) error {
 	if cfg.Shards < 0 {
-		return nil, fmt.Errorf("fleet: negative shard count %d", cfg.Shards)
+		return fmt.Errorf("fleet: negative shard count %d", cfg.Shards)
 	}
-	for _, share := range cfg.Mix {
+	mix := cfg.Mix
+	if len(mix) == 0 {
+		mix = DefaultMix
+	}
+	for _, share := range mix {
 		if _, ok := implementations[share.Impl]; !ok {
-			return nil, fmt.Errorf("fleet: unknown implementation %q in mix", share.Impl)
+			return fmt.Errorf("fleet: unknown implementation %q in mix", share.Impl)
 		}
 		if share.Weight < 0 {
-			return nil, fmt.Errorf("fleet: negative weight for %q", share.Impl)
+			return fmt.Errorf("fleet: negative weight for %q", share.Impl)
 		}
 	}
 	if err := detector.ValidateNames(cfg.GFW.Detectors); err != nil {
-		return nil, fmt.Errorf("fleet: %w", err)
+		return fmt.Errorf("fleet: %w", err)
 	}
-	return runSharded(cfg, o)
+	if cfg.Regions != nil {
+		if err := cfg.Regions.Validate(); err != nil {
+			return fmt.Errorf("fleet: %w", err)
+		}
+		for _, r := range cfg.Regions.Regions {
+			if r.GFW != nil {
+				if err := detector.ValidateNames(r.GFW.Detectors); err != nil {
+					return fmt.Errorf("fleet: region %q: %w", r.Name, err)
+				}
+			}
+		}
+	}
+	return nil
 }
 
 // build constructs the shard's servers, users, and their initial
 // wake-ups from the global plan.
-func (f *Fleet) build(plan shardPlan) {
+func (f *Fleet) build(plan runPlan) {
 	cfg := f.cfg
 
 	f.implNames = make([]string, len(cfg.Mix))
@@ -574,7 +625,7 @@ func (f *Fleet) build(plan shardPlan) {
 		}
 		f.implServers[implIdx]++
 		f.sargs[j] = srvArg{f: f, idx: int32(j)}
-		f.epochs[ep] = epoch{at: netsim.Epoch, impl: int32(implIdx)}
+		f.epochs[ep] = epoch{at: netsim.Epoch, impl: int32(implIdx), srv: int32(j)}
 		f.net.AddHost(ep, f.servers[j].host)
 	}
 
@@ -609,8 +660,13 @@ func (f *Fleet) build(plan shardPlan) {
 			Port: 40000,
 		}
 		// Stagger first wake-ups uniformly over one mean gap, so the
-		// population is in Poisson steady state from the start.
+		// population is in Poisson steady state from the start. A
+		// restored unit draws the stagger anyway (keeping this loop
+		// identical) but re-arms its real pending wake-ups from the
+		// snapshot instead.
 		first := netsim.Epoch.Add(time.Duration(u.f64() * float64(f.meanGap)))
-		f.wheel.Schedule(first, runUserWake, &f.uargs[i])
+		if !f.restoring {
+			f.wheel.Schedule(first, runUserWake, &f.uargs[i])
+		}
 	}
 }

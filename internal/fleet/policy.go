@@ -1,0 +1,54 @@
+package fleet
+
+import (
+	"time"
+
+	"sslab/internal/netsim"
+	"sslab/internal/region"
+)
+
+// The policy layer interprets a region.Schedule inside a running unit.
+// Events chain: applying event i schedules event i+1, so the entire
+// pending state is one integer (Fleet.policyNext) plus at most one
+// scheduled AtCall carrying the unit's pre-allocated policyArg — which
+// is what lets a snapshot capture and re-arm a schedule mid-run.
+
+// policyArg is the pre-allocated closure-free scheduling argument for
+// policy events (one per unit).
+type policyArg struct {
+	f *Fleet
+}
+
+// runPolicy is the AtCall trampoline for schedule events.
+func runPolicy(x any) {
+	x.(*policyArg).f.applyPolicy()
+}
+
+// applyPolicy applies the next schedule event to the unit's censor and
+// chains the one after.
+func (f *Fleet) applyPolicy() {
+	e := f.schedule[f.policyNext]
+	f.policyNext++
+	switch e.Kind {
+	case region.KindSensitivity:
+		f.gfw.SetSensitivity(e.Value)
+	case region.KindBlockTTL:
+		f.gfw.SetBlockTTL(e.Value, e.JitterHours)
+	case region.KindPause:
+		f.gfw.SetProbingPaused(true)
+	case region.KindResume:
+		f.gfw.SetProbingPaused(false)
+	}
+	f.schedulePolicy()
+}
+
+// schedulePolicy arms the next unapplied schedule event, if any. Same-
+// time events chain within the same virtual instant (the simulator
+// clamps past times to now), in declaration order.
+func (f *Fleet) schedulePolicy() {
+	if f.policyNext >= len(f.schedule) {
+		return
+	}
+	at := netsim.Epoch.Add(time.Duration(f.schedule[f.policyNext].AtHours * float64(time.Hour)))
+	f.sim.AtCall(at, runPolicy, &f.parg)
+}

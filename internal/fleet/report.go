@@ -1,12 +1,21 @@
 package fleet
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
 	"sslab/internal/gfw"
 	"sslab/internal/stats"
 )
+
+// ErrUnmergeableReport marks a Report that cannot participate in Merge
+// because its backing quantile sketches are gone. The sketches are
+// unexported (the campaign flattener walks the Report's JSON, and raw
+// sketch state would pollute the flattened metric set), so any Report
+// that has passed through JSON — or was zero-constructed rather than
+// produced by a run — trips this. Test with errors.Is.
+var ErrUnmergeableReport = errors.New("report has no backing sketches (restored from JSON?)")
 
 // Report is the population-scale reduction of one fleet run. Every
 // field is a scalar, a quantile digest, or a bucketed series — the
@@ -59,6 +68,10 @@ type Report struct {
 	// StageRecordings attributes the censor's recorded payloads to the
 	// detector stage that claimed each flow, in chain order.
 	StageRecordings []gfw.StageCount `json:",omitempty"`
+	// PerRegion breaks the population outcome down by censorship region,
+	// in topology order. Only present for runs with two or more regions;
+	// single-region reports are byte-identical to pre-region ones.
+	PerRegion []RegionStats `json:",omitempty"`
 
 	// Mergeable backing sketches for the Summary fields above. They are
 	// unexported on purpose: the campaign flattener walks the Report's
@@ -85,7 +98,7 @@ func (r *Report) Merge(o *Report) error {
 	}
 	if r.latQ == nil || r.lifeQ == nil || r.gapQ == nil ||
 		o.latQ == nil || o.lifeQ == nil || o.gapQ == nil {
-		return fmt.Errorf("fleet: merging a Report without backing sketches (restored from JSON?)")
+		return fmt.Errorf("fleet: %w", ErrUnmergeableReport)
 	}
 	if r.BucketMin != o.BucketMin {
 		return fmt.Errorf("fleet: merging reports with bucket widths %d and %d min", r.BucketMin, o.BucketMin)
@@ -149,6 +162,8 @@ func (r *Report) Merge(o *Report) error {
 	for k := range r.StageRecordings {
 		r.StageRecordings[k].Recorded += o.StageRecordings[k].Recorded
 	}
+	// Regions are disjoint populations, so per-region rows concatenate.
+	r.PerRegion = append(r.PerRegion, o.PerRegion...)
 
 	// Derived views of the merged state.
 	r.DetectionLatency = r.latQ.Summarize()
@@ -159,6 +174,48 @@ func (r *Report) Merge(o *Report) error {
 		r.BlockedUserFraction = float64(r.EverBlockedUsers) / float64(r.Users)
 	}
 	return nil
+}
+
+// RegionStats is one region's slice of the population outcome: the
+// same headline numbers as the global Report, restricted to the users
+// and servers the topology placed under that region's censor. The
+// campaign flattener keys these rows by Name.
+type RegionStats struct {
+	Name    string
+	Users   int
+	Servers int
+
+	Wakeups    int64
+	Flows      int64
+	ProbesSent int
+	Blocks     int
+
+	EverBlockedUsers    int64
+	BlockedUserFraction float64
+	BlockedAtEnd        int64
+	Replacements        int64
+
+	DetectionLatency stats.Summary
+	ServerLifetime   stats.Summary
+}
+
+// regionStats projects a (regionally merged) Report onto its RegionStats row.
+func regionStats(name string, rep *Report) RegionStats {
+	return RegionStats{
+		Name:                name,
+		Users:               rep.Users,
+		Servers:             rep.Servers,
+		Wakeups:             rep.Wakeups,
+		Flows:               rep.Flows,
+		ProbesSent:          rep.ProbesSent,
+		Blocks:              rep.Blocks,
+		EverBlockedUsers:    rep.EverBlockedUsers,
+		BlockedUserFraction: rep.BlockedUserFraction,
+		BlockedAtEnd:        rep.BlockedAtEnd,
+		Replacements:        rep.Replacements,
+		DetectionLatency:    rep.DetectionLatency,
+		ServerLifetime:      rep.ServerLifetime,
+	}
 }
 
 // ImplStats is the per-implementation slice of the population outcome.
@@ -271,6 +328,11 @@ func (r *Report) Render() string {
 	}
 	for _, sc := range r.StageRecordings {
 		fmt.Fprintf(&b, "    stage %-15s recorded %d\n", sc.Name, sc.Recorded)
+	}
+	for _, rg := range r.PerRegion {
+		fmt.Fprintf(&b, "  region %-10s %6d users / %4d servers: %5.2f%% ever blocked, %d blocks, median latency %s\n",
+			rg.Name, rg.Users, rg.Servers, 100*rg.BlockedUserFraction, rg.Blocks,
+			fmtDur(rg.DetectionLatency.P50))
 	}
 	if r.DetectionLatency.N > 0 {
 		fmt.Fprintf(&b, "  detection latency: p25 %s, median %s, p90 %s (n=%d)\n",

@@ -2,36 +2,70 @@ package fleet
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
-	"runtime"
-	"sync"
 	"time"
 
 	"sslab/internal/gfw"
-	"sslab/internal/metrics"
 	"sslab/internal/netsim"
+	"sslab/internal/region"
 	"sslab/internal/seedfork"
 	"sslab/internal/stats"
 	"sslab/internal/trafficgen"
 )
 
-// shardPlan is the run's space partition, fixed by Config before any
-// shard executes: the global per-server implementation assignment and
-// each shard's contiguous server range. Workers execute this plan;
-// they never reshape it, which is what makes the worker count
-// report-invariant.
-type shardPlan struct {
+// runPlan is the run's space partition, fixed by Config before any
+// unit executes: the global per-server implementation assignment, the
+// region ranges, and each unit's (region, shard) identity. Workers
+// execute this plan; they never reshape it, which is what makes the
+// worker count report-invariant.
+type runPlan struct {
 	nServers int
 	impl     []int32 // implementation index per global server
-	lo, hi   []int   // shard s owns global servers [lo[s], hi[s])
+	regions  []regionPlan
+	units    []unitSpec
 }
 
-// planShards draws the global implementation mix and splits the server
-// space into balanced contiguous ranges. The mix is one sequential
-// stream over all servers regardless of the shard count, so sharding
-// repartitions the population without recomposing it. Shard counts
-// above the server count clamp (a shard must own at least one server).
-func planShards(cfg Config) shardPlan {
+// regionPlan is one region's slice of the plan: its contiguous global
+// server range, its resolved censor configuration, and its schedule.
+type regionPlan struct {
+	name     string
+	gcfg     gfw.Config // per-unit Seed and NoProbeLog applied later
+	schedule region.Schedule
+	lo, hi   int
+}
+
+// unitSpec identifies one executable sub-simulation: a (region, shard)
+// cell with its contiguous global server range and its seedfork parent.
+type unitSpec struct {
+	region int
+	shard  int
+	seed   int64
+	lo, hi int
+}
+
+// resolveTopology returns the run's effective topology: the configured
+// one, or the implicit single-region identity.
+func resolveTopology(cfg Config) *region.Topology {
+	if cfg.Regions != nil {
+		return cfg.Regions
+	}
+	return region.Single()
+}
+
+// planRun draws the global implementation mix, carves the server space
+// into contiguous region ranges (proportional to weight, by cumulative
+// rounding), and splits each region into up to Config.Shards balanced
+// contiguous shard ranges. The mix is one sequential stream over all
+// servers regardless of regions and shards, so both repartition the
+// population without recomposing it.
+//
+// Seed derivation preserves the historical streams exactly when it
+// can: a single-region plan forks shard seeds straight off Config.Seed
+// (cfg.Seed itself for one shard), so every pre-region golden is
+// reproduced byte-for-byte; a multi-region plan gives each region an
+// independent ("region", r) fork and derives shard seeds under it.
+func planRun(cfg Config) (runPlan, error) {
 	nServers := (cfg.Users + cfg.UsersPerServer - 1) / cfg.UsersPerServer
 	var totalW float64
 	for _, s := range cfg.Mix {
@@ -52,131 +86,92 @@ func planShards(cfg Config) shardPlan {
 		impl[j] = int32(implIdx)
 	}
 
-	shards := cfg.Shards
-	if shards > nServers {
-		shards = nServers
-	}
-	if shards < 1 {
-		shards = 1
-	}
-	p := shardPlan{nServers: nServers, impl: impl, lo: make([]int, shards), hi: make([]int, shards)}
-	q, r := nServers/shards, nServers%shards
+	topo := resolveTopology(cfg)
+	p := runPlan{nServers: nServers, impl: impl}
+	weightSum := topo.TotalWeight()
+	single := len(topo.Regions) == 1
+	var cum float64
 	at := 0
-	for s := range p.lo {
-		n := q
-		if s < r {
-			n++ // the first r shards absorb the remainder
+	for r, reg := range topo.Regions {
+		cum += reg.Weight
+		hi := int(math.Round(cum / weightSum * float64(nServers)))
+		if r == len(topo.Regions)-1 {
+			hi = nServers
 		}
-		p.lo[s] = at
-		at += n
-		p.hi[s] = at
-	}
-	return p
-}
+		if hi <= at {
+			return runPlan{}, fmt.Errorf("fleet: region %q gets no servers (weight %v of %v over %d servers)",
+				reg.Name, reg.Weight, weightSum, nServers)
+		}
 
-// shardOut is one shard's result slot, indexed by shard so the merge
-// order never depends on scheduling.
-type shardOut struct {
-	rep  *Report
-	snap metrics.Snapshot
-	err  error
-}
-
-// runSharded executes the plan on a bounded worker pool and merges the
-// per-shard Reports in shard order.
-func runSharded(cfg Config, o runOptions) (*Report, error) {
-	plan := planShards(cfg)
-	nShards := len(plan.lo)
-	workers := o.workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > nShards {
-		workers = nShards
-	}
-	wantSnap := o.metrics != nil
-
-	outs := make([]shardOut, nShards)
-	if workers <= 1 {
-		for s := range outs {
-			outs[s] = runShard(cfg, plan, s, wantSnap)
-		}
-	} else {
-		queue := make(chan int, nShards)
-		for s := range outs {
-			queue <- s
-		}
-		close(queue)
-		var wg sync.WaitGroup
-		wg.Add(workers)
-		for w := 0; w < workers; w++ {
-			go func() {
-				defer wg.Done()
-				for s := range queue {
-					outs[s] = runShard(cfg, plan, s, wantSnap)
-				}
-			}()
-		}
-		wg.Wait()
-	}
-
-	// The lowest-indexed failure wins, so the reported error does not
-	// depend on which worker lost the race.
-	for s := range outs {
-		if outs[s].err != nil {
-			return nil, fmt.Errorf("fleet: shard %d/%d: %w", s, nShards, outs[s].err)
-		}
-	}
-	rep := outs[0].rep
-	for s := 1; s < nShards; s++ {
-		if err := rep.Merge(outs[s].rep); err != nil {
-			return nil, fmt.Errorf("fleet: merging shard %d/%d: %w", s, nShards, err)
-		}
-	}
-	if o.metrics != nil {
-		for s := range outs {
-			if err := o.metrics.Absorb(outs[s].snap); err != nil {
-				return nil, fmt.Errorf("fleet: shard %d/%d: %w", s, nShards, err)
+		gcfg := cfg.GFW
+		if reg.GFW != nil {
+			gcfg = *reg.GFW
+			if gcfg.Sensitivity == 0 {
+				gcfg.Sensitivity = 0.25 // the fleet-level default, see Config.GFW
 			}
 		}
+		rp := regionPlan{name: reg.Name, gcfg: gcfg, schedule: reg.Schedule, lo: at, hi: hi}
+
+		// Seed parents: single-region plans keep the historical labels.
+		regionSeed := cfg.Seed
+		if !single {
+			regionSeed = seedfork.Fork(cfg.Seed, "region", int64(r))
+		}
+		shards := cfg.Shards
+		if n := hi - at; shards > n {
+			shards = n
+		}
+		if shards < 1 {
+			shards = 1
+		}
+		q, rem := (hi-at)/shards, (hi-at)%shards
+		slo := at
+		for s := 0; s < shards; s++ {
+			n := q
+			if s < rem {
+				n++ // the first rem shards absorb the remainder
+			}
+			seed := regionSeed
+			if shards > 1 {
+				seed = seedfork.Fork(regionSeed, "fleet.shard", int64(s))
+			}
+			p.units = append(p.units, unitSpec{region: r, shard: s, seed: seed, lo: slo, hi: slo + n})
+			slo += n
+		}
+		p.regions = append(p.regions, rp)
+		at = hi
 	}
-	return rep, nil
+	return p, nil
 }
 
-// runShard builds and executes one shard's sub-simulation, converting
-// panics into errors so a poisoned shard fails the run cleanly instead
-// of killing the whole process — campaign's per-shard isolation,
-// pushed inside a single fleet run.
-func runShard(cfg Config, plan shardPlan, s int, wantSnap bool) (out shardOut) {
-	defer func() {
-		if p := recover(); p != nil {
-			out = shardOut{err: fmt.Errorf("panic: %v", p)}
-		}
-	}()
+// buildUnit constructs one unit's sub-simulation: its own simulator,
+// network, censor, timing wheel and RNG streams. When restoring, the
+// unit is built structurally identical but schedules no initial events
+// — the snapshot's pending events are re-armed afterwards.
+func buildUnit(cfg Config, plan runPlan, u unitSpec, restoring bool) *Fleet {
+	rp := plan.regions[u.region]
 
-	// With one shard the parent seed is Config.Seed itself, which makes
-	// every derived label identical to the unsharded engine's; with more,
-	// each shard gets an independent fork.
-	seed := cfg.Seed
-	if len(plan.lo) > 1 {
-		seed = seedfork.Fork(cfg.Seed, "fleet.shard", int64(s))
-	}
-
-	sim := netsim.NewSim(netsim.WithSeed(seed))
+	sim := netsim.NewSim(netsim.WithSeed(u.seed))
 	var nopts []netsim.NetworkOption
 	if cfg.Impair != nil {
 		nopts = append(nopts, netsim.WithDefaultLink(*cfg.Impair))
 	}
 	net := netsim.NewNetwork(sim, nopts...)
 
-	gcfg := cfg.GFW
-	gcfg.Seed = seedfork.Fork(seed, "fleet.gfw")
+	gcfg := rp.gcfg
+	gcfg.Seed = seedfork.Fork(u.seed, "fleet.gfw")
 	gcfg.NoProbeLog = true
+	if gcfg.Sensitivity < 0 {
+		// The historical probe-but-never-block sentinel: gfw now rejects
+		// out-of-domain sensitivities, and 0 blocks exactly as often as
+		// any negative value did (never) with the same single coin flip.
+		gcfg.Sensitivity = 0
+	}
 	g := gfw.New(gfw.Env{Sim: sim, Net: net}, gfw.WithConfig(gcfg))
 	net.AddMiddlebox(g)
 
-	userLo := plan.lo[s] * cfg.UsersPerServer
-	userHi := plan.hi[s] * cfg.UsersPerServer
+	userLo := u.lo * cfg.UsersPerServer
+	userHi := u.hi * cfg.UsersPerServer
 	if userHi > cfg.Users {
 		userHi = cfg.Users // the last server may be partially subscribed
 	}
@@ -185,14 +180,18 @@ func runShard(cfg Config, plan shardPlan, s int, wantSnap bool) (out shardOut) {
 		sim:          sim,
 		net:          net,
 		gfw:          g,
-		seed:         seed,
-		serverLo:     plan.lo[s],
-		serverHi:     plan.hi[s],
+		seed:         u.seed,
+		serverLo:     u.lo,
+		serverHi:     u.hi,
 		userLo:       userLo,
 		userHi:       userHi,
-		nextServerIP: plan.lo[s], // initial endpoints keep their global addresses
+		regionIdx:    u.region,
+		regionName:   rp.name,
+		schedule:     rp.schedule,
+		restoring:    restoring,
+		nextServerIP: u.lo, // initial endpoints keep their global addresses
 		wheel:        netsim.NewWheel(sim),
-		tg:           trafficgen.New(seedfork.Fork(seed, "fleet.trafficgen")),
+		tg:           trafficgen.New(seedfork.Fork(u.seed, "fleet.trafficgen")),
 		outBuf:       make([]netsim.Outcome, 0, 1),
 		end:          netsim.Epoch.Add(time.Duration(cfg.Hours) * time.Hour),
 		meanGap:      time.Duration(float64(time.Hour) / cfg.PeakFlowsPerHour),
@@ -204,15 +203,12 @@ func runShard(cfg Config, plan shardPlan, s int, wantSnap bool) (out shardOut) {
 		lifetimes:    stats.NewQuantile(0.01),
 		gapQ:         stats.NewQuantile(0.01),
 	}
+	f.parg = policyArg{f: f}
 	f.bindMetrics()
 	f.build(plan)
-
-	sim.AtCall(netsim.Epoch.Add(f.bucket), runSample, f)
-	sim.RunUntil(f.end)
-
-	out = shardOut{rep: f.report()}
-	if wantSnap {
-		out.snap = sim.Metrics.Snapshot()
+	if !restoring {
+		sim.AtCall(netsim.Epoch.Add(f.bucket), runSample, f)
+		f.schedulePolicy()
 	}
-	return out
+	return f
 }

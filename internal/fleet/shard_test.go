@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"sslab/internal/metrics"
@@ -97,19 +98,20 @@ func TestFleetShardPopulationInvariants(t *testing.T) {
 	}
 }
 
-// shardReports runs each shard of a plan in isolation and returns the
-// per-shard Reports — the raw inputs of the merge reduction.
+// shardReports runs each unit of a plan in isolation and returns the
+// per-unit Reports — the raw inputs of the merge reduction.
 func shardReports(t *testing.T, cfg Config) []*Report {
 	t.Helper()
 	cfg = cfg.withDefaults()
-	plan := planShards(cfg)
-	reps := make([]*Report, len(plan.lo))
+	plan, err := planRun(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps := make([]*Report, len(plan.units))
 	for s := range reps {
-		out := runShard(cfg, plan, s, false)
-		if out.err != nil {
-			t.Fatalf("shard %d: %v", s, out.err)
-		}
-		reps[s] = out.rep
+		f := buildUnit(cfg, plan, plan.units[s], false)
+		f.sim.RunUntil(f.end)
+		reps[s] = f.report()
 	}
 	return reps
 }
@@ -225,15 +227,24 @@ func TestFleetWithMetrics(t *testing.T) {
 	}
 }
 
-// TestFleetShardPanicIsolation: a panicking shard must surface as an
-// error naming the shard, not kill the process.
+// TestFleetShardPanicIsolation: a panicking unit must surface as an
+// error naming the unit, not kill the process.
 func TestFleetShardPanicIsolation(t *testing.T) {
-	cfg := shardedCfg(1).withDefaults()
-	plan := planShards(cfg)
-	plan.impl = nil // poison: build will index nil and panic
-	out := runShard(cfg, plan, 2, false)
-	if out.err == nil {
-		t.Fatal("poisoned shard must return an error")
+	e, err := NewEngine(shardedCfg(1), WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = e.each(func(i int) error {
+		if i == 2 {
+			panic("poison")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("poisoned unit must return an error")
+	}
+	if !strings.Contains(err.Error(), "shard 2") || !strings.Contains(err.Error(), "poison") {
+		t.Fatalf("error must name the failing shard and cause, got: %v", err)
 	}
 }
 
@@ -245,7 +256,10 @@ func TestPlanShardsBalance(t *testing.T) {
 		{500, 25, 99}, {501, 25, 3}, {10, 50, 4},
 	} {
 		cfg := Config{Seed: 1, Users: tc.users, UsersPerServer: tc.ups, Shards: tc.shards}.withDefaults()
-		plan := planShards(cfg)
+		plan, err := planRun(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
 		nServers := (tc.users + tc.ups - 1) / tc.ups
 		if plan.nServers != nServers {
 			t.Fatalf("%+v: nServers = %d, want %d", tc, plan.nServers, nServers)
@@ -254,22 +268,22 @@ func TestPlanShardsBalance(t *testing.T) {
 		if want > nServers {
 			want = nServers
 		}
-		if len(plan.lo) != want {
-			t.Fatalf("%+v: %d shards, want %d", tc, len(plan.lo), want)
+		if len(plan.units) != want {
+			t.Fatalf("%+v: %d shards, want %d", tc, len(plan.units), want)
 		}
 		at, min, max := 0, nServers, 0
-		for s := range plan.lo {
-			if plan.lo[s] != at || plan.hi[s] <= plan.lo[s] {
-				t.Fatalf("%+v: shard %d range [%d,%d) not contiguous from %d", tc, s, plan.lo[s], plan.hi[s], at)
+		for s, u := range plan.units {
+			if u.lo != at || u.hi <= u.lo {
+				t.Fatalf("%+v: shard %d range [%d,%d) not contiguous from %d", tc, s, u.lo, u.hi, at)
 			}
-			n := plan.hi[s] - plan.lo[s]
+			n := u.hi - u.lo
 			if n < min {
 				min = n
 			}
 			if n > max {
 				max = n
 			}
-			at = plan.hi[s]
+			at = u.hi
 		}
 		if at != nServers {
 			t.Fatalf("%+v: shards cover [0,%d), want [0,%d)", tc, at, nServers)

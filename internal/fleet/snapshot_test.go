@@ -1,0 +1,232 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+
+	"sslab/internal/netsim"
+	"sslab/internal/region"
+)
+
+// runEngineReport drives an engine to its end and marshals the report.
+func runEngineReport(t *testing.T, e *Engine) []byte {
+	t.Helper()
+	if err := e.RunTo(e.End()); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reportJSON(t, rep)
+}
+
+// TestEngineMatchesRun: holding a run open through the Engine API and
+// driving it to the end in one step is Run, byte for byte.
+func TestEngineMatchesRun(t *testing.T) {
+	golden := reportJSON(t, mustRun(t, shardedCfg(21)))
+	e, err := NewEngine(shardedCfg(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := runEngineReport(t, e); !bytes.Equal(got, golden) {
+		t.Fatal("Engine-driven run diverged from Run")
+	}
+}
+
+// TestEngineStagedRunIdentity: advancing a run in many small RunTo
+// steps (including repeated and backwards targets, which are no-ops)
+// reports byte-identically to one straight shot.
+func TestEngineStagedRunIdentity(t *testing.T) {
+	golden := reportJSON(t, mustRun(t, smallCfg(22)))
+	e, err := NewEngine(smallCfg(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for h := 1; h <= 6; h++ {
+		at := netsim.Epoch.Add(time.Duration(h) * time.Hour)
+		if err := e.RunTo(at); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.RunTo(at.Add(-30 * time.Minute)); err != nil {
+			t.Fatal(err) // backwards targets are no-ops
+		}
+	}
+	rep, err := e.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reportJSON(t, rep); !bytes.Equal(got, golden) {
+		t.Fatal("staged run diverged from straight run")
+	}
+	// Report is cached: a second call returns the same object.
+	again, err := e.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != rep {
+		t.Fatal("Report must be cached after the first call")
+	}
+}
+
+// resumedReport runs cfg to midpoint, snapshots, restores into a fresh
+// engine, and finishes the run there.
+func resumedReport(t *testing.T, cfg Config, opts ...Option) []byte {
+	t.Helper()
+	e, err := NewEngine(cfg, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := netsim.Epoch.Add(time.Duration(cfg.Hours) * time.Hour / 2)
+	if err := e.RunTo(mid); err != nil {
+		t.Fatal(err)
+	}
+	data, err := e.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Restore(data, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Now().Equal(mid) {
+		t.Fatalf("restored engine at %v, want %v", r.Now(), mid)
+	}
+	return runEngineReport(t, r)
+}
+
+// TestSnapshotResumeByteIdentity pins the tentpole invariant: run to
+// T, Snapshot, Restore, run to 2T must be byte-identical to an
+// uninterrupted 2T run — at one shard and at several, with parallel
+// workers on the restored engine.
+func TestSnapshotResumeByteIdentity(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		cfg := smallCfg(31)
+		cfg.Shards = shards
+		golden := reportJSON(t, mustRun(t, cfg))
+		if got := resumedReport(t, cfg, WithWorkers(2)); !bytes.Equal(got, golden) {
+			t.Fatalf("shards=%d: resumed run diverged from uninterrupted run:\n%s\nvs\n%s",
+				shards, got, golden)
+		}
+	}
+}
+
+// TestSnapshotResumeRegional: the resume invariant holds with a
+// multi-region topology and a mid-run schedule whose events straddle
+// the snapshot point.
+func TestSnapshotResumeRegional(t *testing.T) {
+	cfg := smallCfg(33)
+	cfg.Shards = 2
+	cfg.Regions = &region.Topology{Regions: []region.Region{
+		{Name: "coastal", Weight: 2, Schedule: region.Schedule{
+			{AtHours: 1, Kind: region.KindSensitivity, Value: 0.8},
+			{AtHours: 4, Kind: region.KindSensitivity, Value: 0.1},
+		}},
+		{Name: "inland", Weight: 1, Schedule: region.Schedule{
+			{AtHours: 2, Kind: region.KindPause},
+			{AtHours: 5, Kind: region.KindResume},
+		}},
+	}}
+	golden := reportJSON(t, mustRun(t, cfg))
+	if got := resumedReport(t, cfg); !bytes.Equal(got, golden) {
+		t.Fatal("regional resumed run diverged from uninterrupted run")
+	}
+}
+
+// TestSnapshotRepeatedResume: snapshotting the *restored* engine and
+// resuming again (a chain of three engines) still lands on the golden.
+func TestSnapshotRepeatedResume(t *testing.T) {
+	cfg := smallCfg(35)
+	cfg.Shards = 3
+	golden := reportJSON(t, mustRun(t, cfg))
+
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for h := 2; h <= 4; h += 2 {
+		if err := e.RunTo(netsim.Epoch.Add(time.Duration(h) * time.Hour)); err != nil {
+			t.Fatal(err)
+		}
+		data, err := e.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e, err = Restore(data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := runEngineReport(t, e); !bytes.Equal(got, golden) {
+		t.Fatal("twice-resumed run diverged from uninterrupted run")
+	}
+}
+
+// TestSnapshotRefusals: the two documented refusals, plus garbage input
+// to Restore.
+func TestSnapshotRefusals(t *testing.T) {
+	e, err := NewEngine(smallCfg(37))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RunTo(e.End()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Report(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Snapshot(); err == nil {
+		t.Fatal("Snapshot after Report must fail (reduction consumed pending state)")
+	}
+
+	imp := smallCfg(37)
+	imp.Impair = &netsim.LinkProfile{Loss: 0.01}
+	ei, err := NewEngine(imp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ei.Snapshot(); err == nil {
+		t.Fatal("Snapshot of an impaired run must fail")
+	}
+
+	if _, err := Restore(nil); err == nil {
+		t.Fatal("Restore(nil) must fail")
+	}
+	if _, err := Restore([]byte("not a snapshot at all")); err == nil {
+		t.Fatal("Restore of garbage must fail")
+	}
+	good, err := func() ([]byte, error) {
+		e2, err := NewEngine(smallCfg(37))
+		if err != nil {
+			return nil, err
+		}
+		return e2.Snapshot()
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), good...)
+	bad[len(snapMagic)+3] = 99 // future version
+	if _, err := Restore(bad); err == nil {
+		t.Fatal("Restore must reject unknown snapshot versions")
+	}
+}
+
+// TestMergeUnmergeableTyped: satellite regression — Merge on a Report
+// restored from JSON fails with the typed, documented sentinel,
+// matchable via errors.Is from both sides of the merge.
+func TestMergeUnmergeableTyped(t *testing.T) {
+	rep := mustRun(t, smallCfg(39))
+	var restored Report
+	if err := json.Unmarshal(reportJSON(t, rep), &restored); err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Merge(rep); !errors.Is(err, ErrUnmergeableReport) {
+		t.Fatalf("restored.Merge(live) = %v, want ErrUnmergeableReport", err)
+	}
+	if err := rep.Merge(&restored); !errors.Is(err, ErrUnmergeableReport) {
+		t.Fatalf("live.Merge(restored) = %v, want ErrUnmergeableReport", err)
+	}
+}

@@ -12,6 +12,8 @@
 package gfw
 
 import (
+	"fmt"
+	"math"
 	"math/rand"
 	"slices"
 	"time"
@@ -22,6 +24,7 @@ import (
 	"sslab/internal/netsim"
 	"sslab/internal/probe"
 	"sslab/internal/reaction"
+	"sslab/internal/seedfork"
 )
 
 // Config tunes the model. Zero values select paper-calibrated defaults.
@@ -91,6 +94,15 @@ type Config struct {
 	// counters, BlockEvents and per-server state are unaffected. The
 	// zero value keeps the log, so existing experiments are unchanged.
 	NoProbeLog bool `json:"NoProbeLog,omitzero"`
+	// BlockTTLHours is how long a blocking rule stays installed before
+	// the scheduled unblock fires, in hours (default 168 = one week,
+	// §6's "more than a week" observation). BlockTTLJitterHours is the
+	// width of the uniform whole-hour jitter added on top (default 168,
+	// reproducing the historical now+1w+Intn(1w) rule); set it negative
+	// to select a jitter-free TTL (normalized to 0, which skips the
+	// jitter draw entirely).
+	BlockTTLHours       float64 `json:"BlockTTLHours,omitzero"`
+	BlockTTLJitterHours float64 `json:"BlockTTLJitterHours,omitzero"`
 	// VerdictCache, when positive, enables the verdict-cache tier with
 	// at least that many entries (rounded up to a power-of-two set
 	// count; see cache.go). The cache memoizes the detector chain's
@@ -124,7 +136,32 @@ func (c Config) withDefaults() Config {
 	if c.Timeouts.Handshake == 0 {
 		c.Timeouts.Handshake = 10 * time.Second
 	}
+	if c.BlockTTLHours == 0 {
+		c.BlockTTLHours = 168
+	}
+	if c.BlockTTLJitterHours == 0 {
+		c.BlockTTLJitterHours = 168
+	} else if c.BlockTTLJitterHours < 0 {
+		c.BlockTTLJitterHours = 0
+	}
 	return c
+}
+
+// Validate checks the configuration fields whose domains the model
+// depends on. Sensitivity is a probability: values outside [0, 1]
+// (or NaN) would silently saturate the blocking coin flip — a negative
+// value behaves exactly like 0 and anything above 1 exactly like 1 —
+// so misconfigurations hide instead of failing. New panics on an
+// invalid Config; callers assembling configs from user input should
+// call Validate first and surface the error.
+func (c Config) Validate() error {
+	if math.IsNaN(c.Sensitivity) || c.Sensitivity < 0 || c.Sensitivity > 1 {
+		return fmt.Errorf("gfw: Sensitivity must be in [0, 1], got %v", c.Sensitivity)
+	}
+	if c.BlockTTLHours < 0 || math.IsNaN(c.BlockTTLHours) {
+		return fmt.Errorf("gfw: BlockTTLHours must be non-negative, got %v", c.BlockTTLHours)
+	}
+	return nil
 }
 
 // BlockEvent records one blocking decision.
@@ -145,6 +182,27 @@ type GFW struct {
 	chain *detector.Chain
 	cache *verdictCache
 	Pool  *Pool
+
+	// src and poolSrc are the counted sources behind rng and the pool's
+	// rng; their draw counts, plus rd's partial-draw remainder, are the
+	// censor's entire serializable stream position (see state.go). rd
+	// replicates rand.Rand's byte reader with exported state so probe
+	// payload bytes survive a snapshot/restore cycle byte-identically.
+	src     *seedfork.CountedSource
+	poolSrc *seedfork.CountedSource
+	rd      seedfork.ByteReader
+	// prng is the resident probe.RNG adapter; passing its address keeps
+	// the hot probe path free of per-call interface boxing.
+	prng probeRNG
+
+	// Runtime policy knobs, initialized from Config and adjustable
+	// mid-run by the spatiotemporal schedule layer (SetSensitivity,
+	// SetBlockTTL, SetProbingPaused). They never feed back into cfg, so
+	// a Config round-trip reports what the censor was built with.
+	sens      float64
+	ttlHours  float64
+	ttlJitter float64
+	paused    bool
 
 	// stageRecs counts recordings attributed to each chain stage (the
 	// stage whose confidence won the flow), parallel to chain.Names();
@@ -341,23 +399,33 @@ func New(env Env, opts ...Option) *GFW {
 		o(&cfg)
 	}
 	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
 	sim, net := env.Sim, env.Net
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	src := seedfork.NewCountedSource(cfg.Seed)
+	rng := rand.New(src)
+	//sslab:allow-seedfork historical +1 offset is baked into the zero-impairment goldens and EXPERIMENTS.md; changing the pool stream would invalidate every pinned report
+	poolSrc := seedfork.NewCountedSource(cfg.Seed + 1)
 	chain := detector.MustChain(cfg.chainNames(), detector.Params{
 		Base:           cfg.ReplayBase,
 		DisableLength:  cfg.DisableLengthFeature,
 		DisableEntropy: cfg.DisableEntropyFeature,
 	})
 	g := &GFW{
-		cfg:       cfg,
-		sim:       sim,
-		net:       net,
-		rng:       rng,
-		chain:     chain,
-		stageRecs: make([]int, chain.Len()),
-		mStageRec: make([]*metrics.Counter, chain.Len()),
-		//sslab:allow-seedfork historical +1 offset is baked into the zero-impairment goldens and EXPERIMENTS.md; changing the pool stream would invalidate every pinned report
-		Pool:           NewPool(rand.New(rand.NewSource(cfg.Seed+1)), cfg.PoolSize, sim.Now()),
+		cfg:            cfg,
+		sim:            sim,
+		net:            net,
+		rng:            rng,
+		src:            src,
+		poolSrc:        poolSrc,
+		sens:           cfg.Sensitivity,
+		ttlHours:       cfg.BlockTTLHours,
+		ttlJitter:      cfg.BlockTTLJitterHours,
+		chain:          chain,
+		stageRecs:      make([]int, chain.Len()),
+		mStageRec:      make([]*metrics.Counter, chain.Len()),
+		Pool:           NewPool(rand.New(poolSrc), cfg.PoolSize, sim.Now()),
 		Log:            capture.NewLog(sim.Now()),
 		servers:        map[netsim.Endpoint]*serverState{},
 		profiles:       map[netsim.Endpoint]*lenProfile{},
@@ -370,6 +438,7 @@ func New(env Env, opts ...Option) *GFW {
 		mProbeRetries:  sim.Metrics.Counter("gfw.probe_retries"),
 		mProbeTimeouts: sim.Metrics.Counter("gfw.probe_timeouts"),
 	}
+	g.prng.g = g
 	for i, name := range chain.Names() {
 		g.mStageRec[i] = sim.Metrics.Counter("gfw.recorded." + name)
 	}
@@ -531,8 +600,12 @@ func (g *GFW) onFlow(f *netsim.Flow) {
 	// tlsexempt whitelist stage) or an all-Pass chain — the common case
 	// for unremarkable traffic — needs no coin flip; a Suspect verdict's
 	// confidence is the recording probability.
+	// A schedule-paused censor keeps watching (profiles keep filling,
+	// verdicts are still computed) but records nothing and sends no
+	// probes; the gate sits before the recording coin flip so an
+	// unpaused run's RNG stream is untouched.
 	winner, res := g.PassiveVerdict(f)
-	if res.Verdict != detector.Suspect || g.rng.Float64() >= res.Confidence {
+	if g.paused || res.Verdict != detector.Suspect || g.rng.Float64() >= res.Confidence {
 		return
 	}
 
@@ -702,10 +775,13 @@ func (g *GFW) chooseType(stage int, ssLike bool) probe.Type {
 //
 //sslab:hotpath
 func (g *GFW) sendProbe(server netsim.Endpoint, rec *recording) {
+	if g.paused {
+		return // scheduled before a probing pause took effect
+	}
 	s := g.state(server)
 	typ := g.chooseType(s.stage, g.profile(server).ssLike(g.cfg.NR1MinFlows))
 	var replayOf time.Time
-	payload := probe.Build(typ, rec.payload, g.rng)
+	payload := probe.Build(typ, rec.payload, &g.prng)
 	if typ.Replay() {
 		replayOf = rec.at
 	}
@@ -786,8 +862,21 @@ func (g *GFW) emit(server netsim.Endpoint, s *serverState, typ probe.Type, paylo
 	g.emitAttempt(server, s, typ, payload, replayOf, 1)
 }
 
+// probeRNG adapts the censor's counted stream to probe.RNG: integer
+// draws go through the shared rng, byte fills through the serializable
+// byte reader. The bytes are exactly what rand.Rand.Read over the same
+// source would produce (see seedfork.ByteReader), but the partially
+// consumed draw lives in exported state a snapshot can capture.
+type probeRNG struct{ g *GFW }
+
+func (r *probeRNG) Intn(n int) int             { return r.g.rng.Intn(n) }
+func (r *probeRNG) Read(p []byte) (int, error) { return r.g.rd.Read(r.g.src, p) }
+
 // emitAttempt sends transmission number attempt of one probe.
 func (g *GFW) emitAttempt(server netsim.Endpoint, s *serverState, typ probe.Type, payload []byte, replayOf time.Time, attempt int) {
+	if g.paused {
+		return // a retry or NR2 duplicate scheduled before a pause
+	}
 	src := g.Pool.Source(g.sim.Now())
 	genAt := replayOf
 	outcome := g.net.Connect(src.Endpoint(), server, payload, true, genAt)
@@ -875,7 +964,7 @@ func (g *GFW) maybeBlock(server netsim.Endpoint, s *serverState) {
 	if s.blocked || s.dataResponses < g.cfg.MinDataResponses || s.fpScore < g.cfg.BlockThreshold {
 		return
 	}
-	if g.rng.Float64() >= g.cfg.Sensitivity {
+	if g.rng.Float64() >= g.sens {
 		return
 	}
 	s.blocked = true
@@ -890,22 +979,50 @@ func (g *GFW) maybeBlock(server netsim.Endpoint, s *serverState) {
 	}
 	// Unblocking happens without recheck probes, a week or more later
 	// (§6: one server became unblocked more than a week after blocking,
-	// with no probes observed in between). The unblock is guarded twice:
-	// the network rule is cleared only if it is still the one this block
-	// installed (another server sharing the IP, or a later re-block, may
-	// have re-armed it), and the per-server blocked flag is cleared only
-	// for this block's own generation.
-	until := g.sim.Now().Add(7*24*time.Hour + time.Duration(g.rng.Intn(7*24))*time.Hour)
+	// with no probes observed in between; the default TTL knobs encode
+	// exactly that rule). The unblock is guarded twice: the network rule
+	// is cleared only if it is still the one this block installed
+	// (another server sharing the IP, or a later re-block, may have
+	// re-armed it), and the per-server blocked flag is cleared only for
+	// this block's own generation.
+	ttl := time.Duration(g.ttlHours * float64(time.Hour))
+	if j := int(g.ttlJitter); j > 0 {
+		ttl += time.Duration(g.rng.Intn(j)) * time.Hour
+	}
+	until := g.sim.Now().Add(ttl)
 	g.BlockEvents = append(g.BlockEvents, BlockEvent{Time: g.sim.Now(), Server: server, ByIP: byIP, Until: until})
 	g.mBlocks.Inc()
-	g.sim.At(until, func() {
-		if byIP {
-			g.net.UnblockIPIf(server.IP, ruleGen)
-		} else {
-			g.net.UnblockPortIf(server, ruleGen)
-		}
-		if s.blockGen == myGen {
-			s.blocked = false
-		}
+	g.sim.AtCall(until, runUnblockTask, &unblockTask{
+		g: g, server: server, byIP: byIP, ruleGen: ruleGen, blockGen: myGen,
 	})
+}
+
+// unblockTask carries one scheduled unblock through the closure-free
+// netsim.AtCall path, replacing the closure that used to capture the
+// rule parameters — unblocks must be plain data so an engine snapshot
+// can serialize a pending one and re-arm it on restore.
+type unblockTask struct {
+	g        *GFW
+	server   netsim.Endpoint
+	byIP     bool
+	ruleGen  uint64
+	blockGen uint64
+}
+
+// runUnblockTask is the netsim.AtCall trampoline for scheduled
+// unblocks. It re-resolves the server state at fire time (the captured
+// pointer of the old closure and the map entry are the same state for
+// any server that was ever blocked; after a restore only the map entry
+// exists).
+func runUnblockTask(x any) {
+	t := x.(*unblockTask)
+	g := t.g
+	if t.byIP {
+		g.net.UnblockIPIf(t.server.IP, t.ruleGen)
+	} else {
+		g.net.UnblockPortIf(t.server, t.ruleGen)
+	}
+	if s := g.state(t.server); s.blockGen == t.blockGen {
+		s.blocked = false
+	}
 }

@@ -5,10 +5,17 @@
 // (the analysis the authors performed on their packet captures).
 package probe
 
-import (
-	"bytes"
-	"math/rand"
-)
+import "bytes"
+
+// RNG is the randomness Build consumes: integer draws for mutation
+// deltas and length picks, byte fills for random payloads. *rand.Rand
+// satisfies it; callers that must serialize their stream position pass
+// an adapter whose Read routes through explicit reader state instead
+// of rand.Rand's unexported read buffer.
+type RNG interface {
+	Intn(n int) int
+	Read(p []byte) (int, error)
+}
 
 // Type identifies one kind of active probe.
 type Type int
@@ -101,7 +108,7 @@ func MutatedOffsets(t Type) []int { return mutated(t) }
 // Build constructs a probe payload of the given type. recorded is the
 // legitimate first packet being replayed (required for R1–R6, ignored for
 // NR types); rng drives mutations and random contents.
-func Build(t Type, recorded []byte, rng *rand.Rand) []byte {
+func Build(t Type, recorded []byte, rng RNG) []byte {
 	switch t {
 	case R1, R2, R3, R4, R5, R6:
 		p := append([]byte(nil), recorded...)
@@ -128,7 +135,7 @@ func Build(t Type, recorded []byte, rng *rand.Rand) []byte {
 	}
 }
 
-func randBytes(rng *rand.Rand, n int) []byte {
+func randBytes(rng RNG, n int) []byte {
 	b := make([]byte, n)
 	rng.Read(b)
 	return b

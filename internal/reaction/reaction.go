@@ -225,6 +225,23 @@ func NewServer(p Profile, spec sscrypto.Spec, password string) (*Server, error) 
 	return s, nil
 }
 
+// FilterState captures the server's replay-filter state for engine
+// snapshots (see replay.CaptureState).
+func (s *Server) FilterState() (replay.State, error) {
+	return replay.CaptureState(s.filter)
+}
+
+// RestoreFilterState replaces the server's replay filter with the one
+// a FilterState captured.
+func (s *Server) RestoreFilterState(st replay.State) error {
+	f, err := replay.RestoreState(st)
+	if err != nil {
+		return err
+	}
+	s.filter = f
+	return nil
+}
+
 // ConfigError reports an implementation/method mismatch.
 type ConfigError struct {
 	Profile Profile

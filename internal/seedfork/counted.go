@@ -1,0 +1,86 @@
+package seedfork
+
+import "math/rand"
+
+// CountedSource wraps the standard math/rand source with a draw
+// counter, which is what makes an RNG stream position serializable:
+// the (seed, draw count) pair identifies the stream state exactly, so
+// an engine snapshot stores two integers instead of the source's
+// internal state vector, and restore reconstructs the source from the
+// seed and fast-forwards with Skip. Both Int63 and Uint64 advance the
+// underlying generator by exactly one step, so one counter covers any
+// mix of draw kinds.
+type CountedSource struct {
+	src rand.Source64
+	n   uint64
+}
+
+// NewCountedSource returns a counted source seeded like
+// rand.NewSource(seed).
+func NewCountedSource(seed int64) *CountedSource {
+	return &CountedSource{src: rand.NewSource(seed).(rand.Source64)}
+}
+
+// Int63 implements rand.Source.
+func (c *CountedSource) Int63() int64 {
+	c.n++
+	return c.src.Int63()
+}
+
+// Uint64 implements rand.Source64.
+func (c *CountedSource) Uint64() uint64 {
+	c.n++
+	return c.src.Uint64()
+}
+
+// Seed implements rand.Source, resetting the draw counter along with
+// the underlying state.
+func (c *CountedSource) Seed(seed int64) {
+	c.src.Seed(seed)
+	c.n = 0
+}
+
+// Draws returns how many values have been drawn since construction (or
+// the last Seed).
+func (c *CountedSource) Draws() uint64 { return c.n }
+
+// Skip fast-forwards the stream by n draws, as if n values had been
+// drawn and discarded. Restore uses it to move a freshly constructed
+// source to a snapshotted position: Skip(saved - Draws()).
+func (c *CountedSource) Skip(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		c.src.Uint64()
+	}
+	c.n += n
+}
+
+// ByteReader reproduces math/rand.(*Rand).Read's buffered byte
+// extraction with exported, serializable state. rand.Rand keeps the
+// partially consumed 64-bit value of the last Read in unexported
+// fields, which would make a mid-stream snapshot unrecoverable;
+// components that need snapshotting route their Read calls through a
+// ByteReader over their CountedSource instead. The algorithm is
+// byte-for-byte the standard library's: little-endian bytes of
+// successive Uint64 draws, with the leftover carried across calls.
+type ByteReader struct {
+	Val uint64
+	Pos int8
+}
+
+// Read fills p from src exactly as math/rand.(*Rand).Read would
+// (including the standard library's seven-bytes-per-draw consumption,
+// inherited from the 63-bit Int63 era).
+func (r *ByteReader) Read(src rand.Source64, p []byte) (int, error) {
+	pos, val := r.Pos, r.Val
+	for n := 0; n < len(p); n++ {
+		if pos == 0 {
+			val = src.Uint64()
+			pos = 7
+		}
+		p[n] = byte(val)
+		val >>= 8
+		pos--
+	}
+	r.Pos, r.Val = pos, val
+	return len(p), nil
+}

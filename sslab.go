@@ -38,6 +38,7 @@ import (
 	"sslab/internal/netsim"
 	"sslab/internal/probesim"
 	"sslab/internal/reaction"
+	"sslab/internal/region"
 	"sslab/internal/ssclient"
 	"sslab/internal/ssserver"
 )
@@ -164,6 +165,37 @@ type (
 	// ImplShare is one entry of a fleet's server implementation mix.
 	ImplShare = fleet.ImplShare
 )
+
+// Spatiotemporal censorship layer: a fleet partitioned into named
+// regions, each under its own censor with its own timed policy
+// schedule, plus the Engine API for staged execution and snapshots.
+type (
+	// RegionTopology maps a fleet's servers and users onto named
+	// censorship regions (set FleetConfig.Regions). A one-region
+	// topology with no schedule reproduces the non-regional engine
+	// byte for byte.
+	RegionTopology = region.Topology
+	// Region is one named region: a server-space weight, an optional
+	// censor-config override, and an optional policy schedule.
+	Region = region.Region
+	// RegionSchedule is a region's ordered timed policy events.
+	RegionSchedule = region.Schedule
+	// RegionEvent is one scheduled policy change (sensitivity step,
+	// block-TTL change, probing pause/resume).
+	RegionEvent = region.Event
+	// RegionStats is one region's row of a FleetReport's PerRegion
+	// breakdown.
+	RegionStats = fleet.RegionStats
+	// FleetEngine is a fleet run held open: advance with RunTo,
+	// serialize with Snapshot, reduce with Report.
+	FleetEngine = fleet.Engine
+	// SpatioConfig scales the regional-gradient × schedule-shape sweep.
+	SpatioConfig = experiment.SpatioConfig
+)
+
+// ErrUnmergeableReport marks a FleetReport that lost its backing
+// sketches (e.g. in a JSON round trip) and therefore cannot Merge.
+var ErrUnmergeableReport = fleet.ErrUnmergeableReport
 
 // Implementation profiles the paper studied, plus the hardened reference.
 var (
@@ -331,6 +363,30 @@ func RunArmsRace(cfg ArmsRaceConfig, opts ...FleetOption) (*experiment.ArmsRaceR
 // only changes wall-clock time.
 func RunFleet(cfg FleetConfig, opts ...FleetOption) (*FleetReport, error) {
 	return fleet.Run(cfg, opts...)
+}
+
+// NewFleetEngine builds a fleet run held open for staged execution:
+// RunTo advances virtual time, Snapshot serializes the engine at a
+// quiescent boundary, Report reduces the finished run. Driving an
+// engine to the end in one step is RunFleet, byte for byte.
+func NewFleetEngine(cfg FleetConfig, opts ...FleetOption) (*FleetEngine, error) {
+	return fleet.NewEngine(cfg, opts...)
+}
+
+// RestoreFleetEngine rebuilds an engine from Snapshot bytes. A
+// restored run's remaining virtual time reports byte-identically to an
+// uninterrupted run; options configure execution of the restored
+// engine and need not match the original run's.
+func RestoreFleetEngine(data []byte, opts ...FleetOption) (*FleetEngine, error) {
+	return fleet.Restore(data, opts...)
+}
+
+// RunSpatiotemporal sweeps policy-schedule shapes over a regional
+// sensitivity gradient: per-region blocked-user fractions, detection
+// latencies and server lifetimes under each regime. The variadic
+// options are fleet execution options applied to every run.
+func RunSpatiotemporal(cfg SpatioConfig, opts ...FleetOption) (*experiment.SpatioReport, error) {
+	return experiment.Spatiotemporal(cfg, opts...)
 }
 
 // WithWorkers bounds the worker pool executing a fleet run's shards
